@@ -1,0 +1,81 @@
+// Command fsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fsbench -list            # list available figure ids
+//	fsbench -fig fig7        # regenerate one figure
+//	fsbench -fig all         # regenerate everything (a few minutes)
+//	fsbench -fig fig2 -quick # shorter windows, noisier numbers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"fastsafe/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id to regenerate, or 'all'")
+	quick := flag.Bool("quick", false, "use short measurement windows")
+	list := flag.Bool("list", false, "list available figure ids")
+	jobs := flag.Int("j", runtime.NumCPU(), "figures to regenerate concurrently (with -fig all)")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	flag.Parse()
+
+	render := func(t experiments.Table) string {
+		if *csv {
+			return fmt.Sprintf("# %s: %s\n%s", t.ID, t.Title, t.CSV())
+		}
+		return t.String()
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+
+	if *fig == "all" {
+		// Each figure is an independent deterministic simulation; run them
+		// concurrently and print in order.
+		ids := experiments.IDs()
+		tables := make([]experiments.Table, len(ids))
+		errs := make([]error, len(ids))
+		sem := make(chan struct{}, max(1, *jobs))
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				tables[i], errs[i] = experiments.ByID(id, opts)
+			}(i, id)
+		}
+		wg.Wait()
+		for i := range ids {
+			if errs[i] != nil {
+				fmt.Fprintln(os.Stderr, errs[i])
+				os.Exit(1)
+			}
+			fmt.Println(render(tables[i]))
+		}
+		return
+	}
+	t, err := experiments.ByID(*fig, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(render(t))
+}

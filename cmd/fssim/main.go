@@ -1,0 +1,71 @@
+// Command fssim runs one ad-hoc host simulation and prints its measured
+// results, for exploring configurations outside the paper's sweeps.
+//
+// Example:
+//
+//	fssim -mode fns -flows 20 -ring 512 -mtu 4096 -cores 5 -ms 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/host"
+	"fastsafe/internal/sim"
+)
+
+func main() {
+	mode := flag.String("mode", "strict", "protection mode: off|strict|deferred|strict+preserve|strict+contig|fns|persistent")
+	flows := flag.Int("flows", 5, "bulk Rx flows")
+	txflows := flag.Int("txflows", 0, "bulk Tx flows (each on its own extra core)")
+	cores := flag.Int("cores", 5, "cores serving Rx flows")
+	ring := flag.Int("ring", 256, "Rx ring size in packets per core")
+	mtu := flag.Int("mtu", 4096, "MTU in bytes")
+	descPages := flag.Int("desc", 64, "pages per Rx descriptor")
+	ms := flag.Int("ms", 30, "measurement window, milliseconds")
+	warmup := flag.Int("warmup", 10, "warmup window, milliseconds")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	trace := flag.Bool("trace", false, "summarise the PTcache-L3 locality trace")
+	memhog := flag.Float64("memhog", 0, "co-tenant memory antagonist, GB/s")
+	storage := flag.Float64("storage", 0, "co-tenant storage device read rate, GB/s")
+	flag.Parse()
+
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h, err := host.New(host.Config{
+		Mode:            m,
+		Cores:           *cores,
+		RxFlows:         *flows,
+		TxFlows:         *txflows,
+		RingPackets:     *ring,
+		MTU:             *mtu,
+		DescriptorPages: *descPages,
+		Seed:            *seed,
+		MemHogGBps:      *memhog,
+		TraceL3:         *trace,
+		TraceLimit:      200000,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *storage > 0 {
+		h.InstallStorage(host.StorageConfig{ReadGBps: *storage})
+	}
+	r := h.Run(sim.Duration(*warmup)*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
+	fmt.Println(r)
+	fmt.Printf("per-core CPU utilisation: ")
+	for _, u := range r.CPUUtil {
+		fmt.Printf("%3.0f%% ", u*100)
+	}
+	fmt.Println()
+	if r.Trace != nil {
+		fmt.Printf("L3 locality: %d allocs, frac>=32 %.3f, frac>=64 %.3f, frac>=128 %.3f\n",
+			len(r.Trace.Dists), r.Trace.FractionAbove(32), r.Trace.FractionAbove(64), r.Trace.FractionAbove(128))
+	}
+}

@@ -1,0 +1,75 @@
+// Command fstrace exports raw simulation traces as CSV for plotting —
+// the per-allocation PTcache-L3 reuse distances behind Figures 2e/3e/7e/8e
+// and the RPC latency distribution behind Figure 9.
+//
+// Examples:
+//
+//	fstrace -kind locality -mode strict -flows 40 > locality.csv
+//	fstrace -kind latency -mode fns -rpc 4096 > latency.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/host"
+	"fastsafe/internal/sim"
+)
+
+func main() {
+	kind := flag.String("kind", "locality", "trace kind: locality | latency")
+	mode := flag.String("mode", "strict", "protection mode")
+	flows := flag.Int("flows", 5, "bulk Rx flows")
+	ring := flag.Int("ring", 256, "ring size in packets")
+	rpc := flag.Int("rpc", 4096, "RPC size for latency traces")
+	ms := flag.Int("ms", 40, "measurement window, milliseconds")
+	limit := flag.Int("limit", 100000, "max locality trace points")
+	flag.Parse()
+
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	switch *kind {
+	case "locality":
+		h, err := host.New(host.Config{
+			Mode: m, RxFlows: *flows, RingPackets: *ring,
+			TraceL3: true, TraceLimit: *limit,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := h.Run(10*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
+		fmt.Println("alloc_index,l3_stack_distance")
+		for i, d := range r.Trace.Dists {
+			fmt.Printf("%d,%d\n", i, d)
+		}
+
+	case "latency":
+		h, err := host.New(host.Config{Mode: m, RxFlows: *flows, RingPackets: *ring})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		h.InstallMessages(host.MsgConfig{
+			Pattern: host.LocalServes, Streams: 1, Depth: 1,
+			ReqBytes: *rpc, RespBytes: *rpc,
+			AppCPU: 2 * sim.Microsecond, Cores: 1, CoreBase: 5,
+		})
+		r := h.Run(10*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
+		fmt.Println("quantile,latency_us")
+		for _, q := range []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90,
+			0.95, 0.99, 0.995, 0.999, 0.9999} {
+			fmt.Printf("%g,%.2f\n", q, float64(r.Latency.Quantile(q))/1000)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,40 @@
+// Key-value store example (the paper's Figure 11a scenario): a Redis-like
+// server receives SET requests with bulk values and answers with small
+// replies, one server instance per core, clients pipelining 32 requests.
+// The reply-per-request Tx traffic is exactly the interference that makes
+// small values hurt under default protection (§4.4).
+//
+// Run with: go run ./examples/keyvalue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/sim"
+	"fastsafe/internal/workload"
+)
+
+func main() {
+	fmt.Println("Redis-like SET workload, 8 cores, 9K MTU, pipelining 32")
+	fmt.Println()
+	fmt.Printf("%-10s %10s %10s %11s %12s\n", "mode", "value", "set_gbps", "iotlb/page", "reads/page")
+
+	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
+		for _, value := range []int{4 << 10, 64 << 10, 128 << 10} {
+			s := workload.Redis(mode, value)
+			s.Warmup = 10 * sim.Millisecond
+			s.Measure = 30 * sim.Millisecond
+			r, err := s.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %9dK %10.1f %11.2f %12.2f\n",
+				mode, value>>10, r.MsgGbps, r.IOTLBPerPage, r.ReadsPerPage)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Smaller values mean more replies per byte received — more Tx")
+	fmt.Println("translations contending for the IOTLB (the §4.4 residual gap).")
+}

@@ -1,0 +1,42 @@
+// Quickstart: the paper's headline result through the public API — five
+// bulk DCTCP flows into a 100Gbps receiver under three protection modes.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastsafe"
+)
+
+func main() {
+	fmt.Println("Fast & Safe IO memory protection — quickstart")
+	fmt.Println("five iperf flows into a 100Gbps receiver, 30ms measured window")
+	fmt.Println()
+	fmt.Printf("%-10s %9s %9s %11s %12s %11s\n",
+		"mode", "rx_gbps", "drops", "iotlb/page", "reads/page", "reads/miss")
+
+	reports, err := fastsafe.Compare(fastsafe.Options{},
+		fastsafe.Off, fastsafe.Strict, fastsafe.FNS, fastsafe.FNSHuge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		perMiss := 0.0
+		if r.IOTLBMissesPerPage > 0 {
+			perMiss = r.MemReadsPerPage / r.IOTLBMissesPerPage
+		}
+		fmt.Printf("%-10s %9.1f %8.2f%% %11.2f %12.2f %11.2f\n",
+			r.Mode, r.RxGbps, r.DropRate*100, r.IOTLBMissesPerPage,
+			r.MemReadsPerPage, perMiss)
+	}
+
+	fmt.Println()
+	fmt.Println("F&S keeps the unavoidable one IOTLB miss per page (strict safety)")
+	fmt.Println("but drives the cost of each miss to ~1 memory read, so throughput")
+	fmt.Println("matches the IOMMU-off baseline — the paper's headline result.")
+	fmt.Println("fns+huge (the paper's §5 future work) also removes most of the")
+	fmt.Println("misses themselves, at 2MB revocation granularity.")
+}

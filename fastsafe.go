@@ -1,0 +1,149 @@
+// Public API: a stable, dependency-free facade over the simulator for
+// embedding in other tools. The full-fidelity interfaces live in the
+// internal packages (see README); this surface covers the common case —
+// "simulate this configuration, give me the paper's metrics".
+package fastsafe
+
+import (
+	"fmt"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/host"
+	"fastsafe/internal/sim"
+)
+
+// Mode names a memory-protection datapath.
+type Mode string
+
+// The implemented protection modes.
+const (
+	// Off disables the IOMMU (no protection).
+	Off Mode = "off"
+	// Strict is Linux's strict mode: per-page unmap + full invalidation.
+	Strict Mode = "strict"
+	// Deferred is Linux's lazy mode: batched global flushes, unsafe window.
+	Deferred Mode = "deferred"
+	// StrictPreserve is ablation A: strict + preserved page-table caches.
+	StrictPreserve Mode = "strict+preserve"
+	// StrictContig is ablation B: contiguous IOVAs + batched invalidations.
+	StrictContig Mode = "strict+contig"
+	// FNS is the paper's Fast & Safe design (A + B).
+	FNS Mode = "fns"
+	// Persistent never unmaps (DAMN-style weak-safety baseline).
+	Persistent Mode = "persistent"
+	// FNSHuge is F&S over 2MB hugepage-backed descriptors (§5 future work).
+	FNSHuge Mode = "fns+huge"
+)
+
+// Modes lists every implemented protection mode.
+func Modes() []Mode {
+	var out []Mode
+	for _, m := range core.Modes() {
+		out = append(out, Mode(m.String()))
+	}
+	return out
+}
+
+// Options configures one simulation. Zero values take the paper's §2.2
+// testbed defaults (100Gbps NIC, 128Gbps PCIe, 4KB MTU, ring 256, five
+// cores, five bulk flows).
+type Options struct {
+	Mode        Mode
+	Flows       int     // bulk Rx flows (default 5)
+	TxFlows     int     // bulk Tx flows, one extra core each
+	Cores       int     // cores serving Rx flows (default 5)
+	RingPackets int     // Rx ring size per core (default 256)
+	MTU         int     // bytes (default 4096)
+	Seed        int64   // deterministic seed (default 1)
+	MemHogGBps  float64 // co-tenant memory-bandwidth antagonist
+	WarmupMS    int     // default 10
+	MeasureMS   int     // default 30
+}
+
+// Report is the simulation outcome, in the units the paper plots.
+type Report struct {
+	Mode Mode
+
+	RxGbps   float64 // application-level receive goodput
+	TxGbps   float64 // transmit goodput (bidirectional runs)
+	DropRate float64 // NIC tail drops / arrivals
+
+	IOTLBMissesPerPage float64
+	PTcacheL1PerPage   float64
+	PTcacheL2PerPage   float64
+	PTcacheL3PerPage   float64
+	MemReadsPerPage    float64
+	AcksPerPage        float64
+
+	MaxCPUUtilization float64
+	MemUtilization    float64
+
+	// Safety accounting: both must be zero for every strict-safety mode.
+	StaleIOTLBUses int64
+	StalePTUses    int64
+}
+
+// Simulate runs one experiment and returns its report.
+func Simulate(o Options) (Report, error) {
+	m, err := core.ParseMode(string(o.Mode))
+	if o.Mode == "" {
+		m, err = core.Strict, nil
+	}
+	if err != nil {
+		return Report{}, fmt.Errorf("fastsafe: %w", err)
+	}
+	h, err := host.New(host.Config{
+		Mode:        m,
+		RxFlows:     o.Flows,
+		TxFlows:     o.TxFlows,
+		Cores:       o.Cores,
+		RingPackets: o.RingPackets,
+		MTU:         o.MTU,
+		Seed:        o.Seed,
+		MemHogGBps:  o.MemHogGBps,
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("fastsafe: %w", err)
+	}
+	warm, meas := o.WarmupMS, o.MeasureMS
+	if warm <= 0 {
+		warm = 10
+	}
+	if meas <= 0 {
+		meas = 30
+	}
+	r := h.Run(sim.Duration(warm)*sim.Millisecond, sim.Duration(meas)*sim.Millisecond)
+	return Report{
+		Mode:               Mode(r.Mode.String()),
+		RxGbps:             r.RxGbps,
+		TxGbps:             r.TxGbps,
+		DropRate:           r.DropRate,
+		IOTLBMissesPerPage: r.IOTLBPerPage,
+		PTcacheL1PerPage:   r.L1PerPage,
+		PTcacheL2PerPage:   r.L2PerPage,
+		PTcacheL3PerPage:   r.L3PerPage,
+		MemReadsPerPage:    r.ReadsPerPage,
+		AcksPerPage:        r.AcksPerPage,
+		MaxCPUUtilization:  r.MaxCPUUtil,
+		MemUtilization:     r.MemUtil,
+		StaleIOTLBUses:     r.StaleIOTLB,
+		StalePTUses:        r.StalePT,
+	}, nil
+}
+
+// Compare runs the same configuration under several modes.
+func Compare(o Options, modes ...Mode) ([]Report, error) {
+	if len(modes) == 0 {
+		modes = []Mode{Off, Strict, FNS}
+	}
+	out := make([]Report, 0, len(modes))
+	for _, m := range modes {
+		o.Mode = m
+		r, err := Simulate(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package fastsafe
+
+import "testing"
+
+func TestSimulateDefaults(t *testing.T) {
+	r, err := Simulate(Options{Mode: FNS, MeasureMS: 10, WarmupMS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != FNS {
+		t.Fatalf("Mode = %q", r.Mode)
+	}
+	if r.RxGbps < 90 {
+		t.Fatalf("RxGbps = %.1f", r.RxGbps)
+	}
+	if r.IOTLBMissesPerPage < 1 {
+		t.Fatalf("IOTLB/page = %.2f, want >= 1 (strict safety floor)", r.IOTLBMissesPerPage)
+	}
+	if r.StaleIOTLBUses != 0 || r.StalePTUses != 0 {
+		t.Fatal("stale uses nonzero")
+	}
+}
+
+func TestSimulateEmptyModeDefaultsToStrict(t *testing.T) {
+	r, err := Simulate(Options{MeasureMS: 5, WarmupMS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != Strict {
+		t.Fatalf("default mode = %q, want strict", r.Mode)
+	}
+}
+
+func TestSimulateRejectsJunkMode(t *testing.T) {
+	if _, err := Simulate(Options{Mode: "bogus"}); err == nil {
+		t.Fatal("junk mode accepted")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	rs, err := Compare(Options{MeasureMS: 10, WarmupMS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("reports = %d", len(rs))
+	}
+	off, strict, fns := rs[0], rs[1], rs[2]
+	if !(off.RxGbps >= strict.RxGbps && fns.RxGbps > strict.RxGbps) {
+		t.Fatalf("ordering broken: off=%.1f strict=%.1f fns=%.1f",
+			off.RxGbps, strict.RxGbps, fns.RxGbps)
+	}
+	if fns.PTcacheL1PerPage != 0 || fns.PTcacheL2PerPage != 0 {
+		t.Fatal("FNS PTcache-L1/L2 misses nonzero")
+	}
+}
+
+func TestModesComplete(t *testing.T) {
+	ms := Modes()
+	if len(ms) != 8 {
+		t.Fatalf("Modes() = %v", ms)
+	}
+	for _, m := range ms {
+		if _, err := Simulate(Options{Mode: m, MeasureMS: 3, WarmupMS: 2}); err != nil {
+			t.Fatalf("mode %q failed: %v", m, err)
+		}
+	}
+}

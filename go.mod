@@ -1,0 +1,3 @@
+module fastsafe
+
+go 1.22

@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastsafe/internal/iommu"
+	"fastsafe/internal/iova"
+	"fastsafe/internal/ptable"
+	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
+)
+
+// CostModel gives the CPU time charged for each driver-side protection
+// operation. The values matter relative to the per-packet network-stack
+// cost: strict mode submits one invalidation request per page and waits
+// for completion [39], F&S submits one per descriptor (§3, Figure 6).
+type CostModel struct {
+	CacheAlloc sim.Duration // IOVA alloc/free served by a magazine
+	TreeAlloc  sim.Duration // IOVA alloc/free hitting the red-black tree
+	// TreeNodeVisit is charged per tree node touched while searching for a
+	// gap — the worst-case linear scans Peleg et al. [39] measured.
+	TreeNodeVisit sim.Duration
+	MapPage       sim.Duration // installing one 4KB page-table entry
+	UnmapPage     sim.Duration // clearing one 4KB page-table entry
+	InvRequest    sim.Duration // submitting one invalidation request and
+	// waiting for the IOMMU to complete it
+}
+
+// DefaultCosts are calibrated so that, with the default per-packet stack
+// cost in internal/host, five cores saturate 100Gbps with the IOMMU off
+// (as in §2.2's setup) while strict-mode per-page operations add visible
+// but non-bottleneck CPU load — matching the paper's observation that CPU
+// was far from saturated when the IOMMU throttled throughput.
+func DefaultCosts() CostModel {
+	return CostModel{
+		CacheAlloc:    25,
+		TreeAlloc:     400,
+		TreeNodeVisit: 15,
+		MapPage:       60,
+		UnmapPage:     60,
+		InvRequest:    250,
+	}
+}
+
+// Config configures a protection Domain.
+type Config struct {
+	Mode            Mode
+	NumCPUs         int // per-CPU IOVA caches and Tx chunks
+	DescriptorPages int // pages per Rx descriptor (64 on CX-5)
+	DeferredLimit   int // deferred mode: pending unmaps before a global flush (Linux: 256)
+	// TxFreeCPUShift models Tx-completion interrupt steering: Tx buffers
+	// are unmapped (and their IOVAs freed) on a core offset from the one
+	// that allocated them. This is the cross-CPU magazine migration that
+	// degrades IOVA locality over time (§2.2, citing [32]). 0 disables.
+	TxFreeCPUShift int
+	// FreePoolSize models out-of-order application buffer consumption:
+	// unmapped IOVAs enter a bounded pool and are released to the
+	// allocator in random order, interleaving descriptors and cores the
+	// way real page consumption does. This is the "poor locality between
+	// allocated IOVAs" root cause of §2.2 — without it, the simulator's
+	// recycling is unrealistically tidy. 0 disables (frees are
+	// immediate); the host wiring enables it for realism.
+	FreePoolSize int
+	// Seed drives the free pool's deterministic shuffle.
+	Seed  int64
+	Costs CostModel    // zero value takes DefaultCosts
+	IOMMU iommu.Config // cache geometry (ignored when SharedIOMMU is set)
+	// SharedIOMMU attaches this domain to an existing IOMMU instead of
+	// creating a private one: the domain gets its own IOVA space and IO
+	// page table but shares the IOTLB, page-table caches and walkers —
+	// how multiple devices coexist on one root complex.
+	SharedIOMMU *iommu.IOMMU
+	TraceL3     bool // record PTcache-L3 reuse-distance trace at allocation
+	TraceLimit  int  // max trace points (0 = unlimited)
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumCPUs <= 0 {
+		c.NumCPUs = 1
+	}
+	if c.DescriptorPages <= 0 {
+		c.DescriptorPages = 64
+	}
+	if c.DeferredLimit <= 0 {
+		c.DeferredLimit = 256
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+	return c
+}
+
+// Descriptor is a prepared Rx descriptor: page-sized IOVAs in the order
+// the NIC will DMA into them.
+type Descriptor struct {
+	IOVAs []ptable.IOVA
+	cpu   int
+	// contiguous base/pages when the mode allocates one chunk
+	base   ptable.IOVA
+	contig bool
+	// persistent mode: descriptor is recycled, never unmapped
+	persistent bool
+	// FNSHuge: the 2MB chunk this descriptor was carved from
+	huge *hugeChunk
+}
+
+// TxMapping is a mapped Tx packet: one IOVA per page.
+type TxMapping struct {
+	IOVAs []ptable.IOVA
+	cpu   int
+	// chunk slots used (FNS/StrictContig/FNSHuge Tx)
+	chunks []*txChunk
+}
+
+// txChunk is a per-CPU descriptor-sized IOVA chunk filled across Tx
+// packets (§3's Tx generalisation).
+type txChunk struct {
+	base     ptable.IOVA
+	pages    int
+	next     int // next unmapped slot
+	released int // slots unmapped so far
+}
+
+// Counters aggregates driver-side work.
+type Counters struct {
+	RxDescriptorsMapped   int64
+	RxDescriptorsUnmapped int64
+	TxPacketsMapped       int64
+	TxPacketsUnmapped     int64
+	PagesMapped           int64
+	PagesUnmapped         int64
+	IOVAAllocs            int64
+	IOVAFrees             int64
+	InvRequests           int64
+	DeferredFlushes       int64
+	Reclaims              int64
+	CPUTime               sim.Duration // total protection CPU time charged
+}
+
+// Domain is a protection domain: the coupling of an IOMMU, an IOVA
+// allocator and a protection-mode datapath.
+type Domain struct {
+	cfg   Config
+	mmu   *iommu.IOMMU
+	domID iommu.DomainID
+	table *ptable.Table
+	alloc *iova.CachedAllocator
+	c     Counters
+
+	physNext uint64 // bump allocator for distinct fake physical pages
+
+	txChunks []*txChunk   // per CPU
+	txPool   []*txPool    // per CPU, persistent mode
+	hugeRx   []*hugeChunk // per CPU, FNSHuge mode
+
+	// deferred mode state
+	deferredPending []pendingFree
+	// persistent mode descriptor pool, per CPU
+	pool [][]*Descriptor
+	// out-of-order consumption pool (see Config.FreePoolSize)
+	freePool []pendingFree
+	rng      *rand.Rand
+
+	trace *stats.ReuseTrace
+}
+
+type pendingFree struct {
+	base  ptable.IOVA
+	pages int
+	cpu   int
+}
+
+// NewDomain builds a protection domain.
+func NewDomain(cfg Config) *Domain {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	mmu := cfg.SharedIOMMU
+	var domID iommu.DomainID
+	if mmu == nil {
+		mmu = iommu.New(cfg.IOMMU)
+	} else {
+		domID = mmu.CreateDomain()
+	}
+	d := &Domain{
+		cfg:      cfg,
+		mmu:      mmu,
+		domID:    domID,
+		table:    mmu.TableOf(domID),
+		alloc:    iova.NewCached(cfg.NumCPUs),
+		txChunks: make([]*txChunk, cfg.NumCPUs),
+		hugeRx:   make([]*hugeChunk, cfg.NumCPUs),
+		pool:     make([][]*Descriptor, cfg.NumCPUs),
+		// Fake physical pages: distinct per domain so cross-domain tests
+		// can verify isolation by comparing resolved addresses.
+		physNext: 1<<30 + uint64(domID)<<40,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	if cfg.TraceL3 {
+		d.trace = stats.NewReuseTrace(cfg.TraceLimit)
+	}
+	return d
+}
+
+// Mode returns the domain's protection mode.
+func (d *Domain) Mode() Mode { return d.cfg.Mode }
+
+// DescriptorPages returns the configured pages per Rx descriptor.
+func (d *Domain) DescriptorPages() int { return d.cfg.DescriptorPages }
+
+// IOMMU returns the (possibly shared) IOMMU.
+func (d *Domain) IOMMU() *iommu.IOMMU { return d.mmu }
+
+// ID returns the domain's identifier within the IOMMU.
+func (d *Domain) ID() iommu.DomainID { return d.domID }
+
+// Translate performs one PCIe-transaction translation in this domain.
+func (d *Domain) Translate(v ptable.IOVA) iommu.Translation {
+	return d.mmu.TranslateIn(d.domID, v)
+}
+
+// Counters returns driver-side counters.
+func (d *Domain) Counters() Counters { return d.c }
+
+// AllocatorStats returns the IOVA allocator counters.
+func (d *Domain) AllocatorStats() iova.Stats { return d.alloc.Stats() }
+
+// Trace returns the PTcache-L3 reuse-distance trace (nil unless TraceL3).
+func (d *Domain) Trace() *stats.ReuseTrace { return d.trace }
+
+func (d *Domain) newPhys() ptable.Phys {
+	p := ptable.Phys(d.physNext << ptable.PageShift)
+	d.physNext++
+	return p
+}
+
+// allocIOVA allocates a range and returns its base plus the CPU cost,
+// recording the locality trace per 4KB page in NIC access order.
+func (d *Domain) allocIOVA(cpu, pages int) (ptable.IOVA, sim.Duration, error) {
+	before := d.alloc.Stats()
+	base, ok := d.alloc.Alloc(cpu, pages)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: IOVA space exhausted (%d pages)", pages)
+	}
+	after := d.alloc.Stats()
+	cost := d.cfg.Costs.CacheAlloc
+	if after.TreeAllocs > before.TreeAllocs {
+		cost = d.cfg.Costs.TreeAlloc +
+			d.cfg.Costs.TreeNodeVisit*sim.Duration(after.NodesVisited-before.NodesVisited)
+	}
+	d.c.IOVAAllocs++
+	return base, cost, nil
+}
+
+// freeIOVA releases a range back to the allocator. With a free pool
+// configured, the release is deferred and reordered: the range joins the
+// pool and a random pooled range is released instead once the pool is
+// full — modelling application threads consuming (and thus releasing)
+// buffers out of descriptor order.
+func (d *Domain) freeIOVA(cpu int, base ptable.IOVA, pages int) sim.Duration {
+	if d.cfg.FreePoolSize > 0 {
+		d.freePool = append(d.freePool, pendingFree{base, pages, cpu})
+		if len(d.freePool) <= d.cfg.FreePoolSize {
+			return d.cfg.Costs.CacheAlloc
+		}
+		i := d.rng.Intn(len(d.freePool))
+		p := d.freePool[i]
+		d.freePool[i] = d.freePool[len(d.freePool)-1]
+		d.freePool = d.freePool[:len(d.freePool)-1]
+		base, pages, cpu = p.base, p.pages, p.cpu
+	}
+	d.alloc.Free(cpu, base, pages)
+	d.c.IOVAFrees++
+	return d.cfg.Costs.CacheAlloc
+}
+
+// txFreeCPU returns the core a Tx completion's IOVA frees on.
+func (d *Domain) txFreeCPU(cpu int) int {
+	if d.cfg.TxFreeCPUShift == 0 {
+		return cpu
+	}
+	return (cpu + d.cfg.TxFreeCPUShift) % d.cfg.NumCPUs
+}
+
+// traceAccess records the PTcache-L3 key of an allocated page-sized IOVA.
+func (d *Domain) traceAccess(v ptable.IOVA) {
+	if d.trace != nil {
+		d.trace.Access(v.L3Key())
+	}
+}
+
+// MapRxDescriptor prepares an Rx descriptor of the configured page count
+// on cpu's ring (§2.1 step 1). It returns the descriptor and the CPU time
+// spent. In Off mode IOVAs are identities for fresh physical pages.
+func (d *Domain) MapRxDescriptor(cpu int) (*Descriptor, sim.Duration, error) {
+	pages := d.cfg.DescriptorPages
+	desc := &Descriptor{cpu: cpu}
+	var cost sim.Duration
+
+	switch d.cfg.Mode {
+	case Off:
+		for i := 0; i < pages; i++ {
+			desc.IOVAs = append(desc.IOVAs, ptable.IOVA(d.newPhys()))
+		}
+		return desc, 0, nil
+
+	case FNSHuge:
+		return d.mapRxDescriptorHuge(cpu)
+
+	case Persistent:
+		// Recycle a pre-mapped descriptor when available.
+		if n := len(d.pool[cpu]); n > 0 {
+			desc = d.pool[cpu][n-1]
+			d.pool[cpu] = d.pool[cpu][:n-1]
+			d.c.RxDescriptorsMapped++
+			return desc, 0, nil
+		}
+		// First use: build a contiguous chunk and map it permanently.
+		base, c, err := d.allocIOVA(cpu, pages)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost += c
+		desc.base, desc.contig, desc.persistent = base, true, true
+		for i := 0; i < pages; i++ {
+			v := base + ptable.IOVA(i*ptable.PageSize)
+			if err := d.table.Map(v, d.newPhys()); err != nil {
+				return nil, 0, err
+			}
+			d.traceAccess(v)
+			desc.IOVAs = append(desc.IOVAs, v)
+			cost += d.cfg.Costs.MapPage
+			d.c.PagesMapped++
+		}
+
+	case Strict, Deferred, StrictPreserve:
+		// Default Linux: one page-sized IOVA per page, no contiguity.
+		for i := 0; i < pages; i++ {
+			v, c, err := d.allocIOVA(cpu, 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			cost += c
+			if err := d.table.Map(v, d.newPhys()); err != nil {
+				return nil, 0, err
+			}
+			d.traceAccess(v)
+			desc.IOVAs = append(desc.IOVAs, v)
+			cost += d.cfg.Costs.MapPage
+			d.c.PagesMapped++
+		}
+
+	case StrictContig, FNS:
+		// F&S idea B: one descriptor-sized contiguous chunk, mapped page
+		// by page (Figure 4b) — no hardware or allocator changes.
+		base, c, err := d.allocIOVA(cpu, pages)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost += c
+		desc.base, desc.contig = base, true
+		for i := 0; i < pages; i++ {
+			v := base + ptable.IOVA(i*ptable.PageSize)
+			if err := d.table.Map(v, d.newPhys()); err != nil {
+				return nil, 0, err
+			}
+			d.traceAccess(v)
+			desc.IOVAs = append(desc.IOVAs, v)
+			cost += d.cfg.Costs.MapPage
+			d.c.PagesMapped++
+		}
+
+	default:
+		return nil, 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
+	}
+
+	d.c.RxDescriptorsMapped++
+	d.c.CPUTime += cost
+	return desc, cost, nil
+}
+
+// UnmapRxDescriptor completes an Rx descriptor (§2.1 step 4): unmap every
+// page, invalidate per the mode's policy, free the IOVAs.
+func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
+	var cost sim.Duration
+	switch d.cfg.Mode {
+	case Off:
+		return 0, nil
+
+	case FNSHuge:
+		return d.unmapRxDescriptorHuge(desc)
+
+	case Persistent:
+		// No unmap, no invalidation: recycle. The device retains access —
+		// the weaker safety property.
+		d.pool[desc.cpu] = append(d.pool[desc.cpu], desc)
+		d.c.RxDescriptorsUnmapped++
+		return 0, nil
+
+	case Strict, StrictPreserve:
+		// Per-page unmap, per-page invalidation request (Figure 6a).
+		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
+		for _, v := range desc.IOVAs {
+			res, err := d.table.Unmap(v, ptable.PageSize)
+			if err != nil {
+				return cost, err
+			}
+			cost += d.cfg.Costs.UnmapPage
+			d.c.PagesUnmapped++
+			d.mmu.InvalidateIn(d.domID, v, 1, iotlbOnly)
+			if iotlbOnly && len(res.Reclaimed) > 0 {
+				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
+				d.c.Reclaims += int64(len(res.Reclaimed))
+			}
+			cost += d.cfg.Costs.InvRequest
+			d.c.InvRequests++
+			cost += d.freeIOVA(desc.cpu, v, 1)
+		}
+
+	case Deferred:
+		// Unmap now; batch the invalidation and the IOVA free until the
+		// global flush.
+		for _, v := range desc.IOVAs {
+			if _, err := d.table.Unmap(v, ptable.PageSize); err != nil {
+				return cost, err
+			}
+			cost += d.cfg.Costs.UnmapPage
+			d.c.PagesUnmapped++
+			d.deferredPending = append(d.deferredPending, pendingFree{v, 1, desc.cpu})
+		}
+		cost += d.maybeFlushDeferred()
+
+	case StrictContig, FNS:
+		// One ranged unmap and a single batched invalidation request for
+		// the whole descriptor (Figure 6b).
+		pages := len(desc.IOVAs)
+		res, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize)
+		if err != nil {
+			return cost, err
+		}
+		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
+		d.c.PagesUnmapped += int64(pages)
+		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
+		d.mmu.InvalidateIn(d.domID, desc.base, pages, iotlbOnly)
+		if iotlbOnly && len(res.Reclaimed) > 0 {
+			d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
+			d.c.Reclaims += int64(len(res.Reclaimed))
+		}
+		cost += d.cfg.Costs.InvRequest
+		d.c.InvRequests++
+		cost += d.freeIOVA(desc.cpu, desc.base, pages)
+
+	default:
+		return 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
+	}
+
+	d.c.RxDescriptorsUnmapped++
+	d.c.CPUTime += cost
+	return cost, nil
+}
+
+// maybeFlushDeferred performs the deferred-mode global flush once enough
+// unmaps are pending (Linux lazy mode flushes the whole IOTLB).
+func (d *Domain) maybeFlushDeferred() sim.Duration {
+	if len(d.deferredPending) < d.cfg.DeferredLimit {
+		return 0
+	}
+	d.mmu.FlushAll()
+	var cost sim.Duration = d.cfg.Costs.InvRequest
+	d.c.InvRequests++
+	d.c.DeferredFlushes++
+	for _, p := range d.deferredPending {
+		cost += d.freeIOVA(p.cpu, p.base, p.pages)
+	}
+	d.deferredPending = d.deferredPending[:0]
+	return cost
+}
+
+// PendingDeferred reports unmapped-but-not-invalidated pages (deferred
+// mode's unsafe window).
+func (d *Domain) PendingDeferred() int { return len(d.deferredPending) }
+
+// FlushDeferred forces the deferred-mode global flush regardless of the
+// pending count — the 10ms timer path of Linux's lazy mode. Returns the
+// CPU cost; a no-op outside deferred mode or with nothing pending.
+func (d *Domain) FlushDeferred() sim.Duration {
+	if d.cfg.Mode != Deferred || len(d.deferredPending) == 0 {
+		return 0
+	}
+	d.mmu.FlushAll()
+	cost := d.cfg.Costs.InvRequest
+	d.c.InvRequests++
+	d.c.DeferredFlushes++
+	for _, p := range d.deferredPending {
+		cost += d.freeIOVA(p.cpu, p.base, p.pages)
+	}
+	d.deferredPending = d.deferredPending[:0]
+	d.c.CPUTime += cost
+	return cost
+}
+
+// MapPersistentPages maps pages 4KB pages that live for the domain's whole
+// lifetime, as dma_alloc_coherent does for descriptor rings: mapped once
+// at driver init and never unmapped, in every protection mode. In Off mode
+// the returned IOVAs are physical identities.
+func (d *Domain) MapPersistentPages(cpu, pages int) ([]ptable.IOVA, error) {
+	out := make([]ptable.IOVA, 0, pages)
+	if d.cfg.Mode == Off {
+		for i := 0; i < pages; i++ {
+			out = append(out, ptable.IOVA(d.newPhys()))
+		}
+		return out, nil
+	}
+	base, _, err := d.allocIOVA(cpu, pages)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pages; i++ {
+		v := base + ptable.IOVA(i*ptable.PageSize)
+		if err := d.table.Map(v, d.newPhys()); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

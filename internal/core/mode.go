@@ -1,0 +1,118 @@
+// Package core implements the memory-protection datapaths the paper
+// studies: the Linux strict and deferred modes, the F&S design (§3), the
+// two F&S ablations from §4.3, and a persistent-mapping baseline standing
+// in for the DAMN [34] / hugepage [16] family of weaker-safety designs.
+//
+// A Domain is the IOMMU-driver view the NIC driver programs against:
+// prepare (map) descriptors, complete (unmap) descriptors, map and unmap
+// Tx packets. Every operation returns the CPU time it cost, so the host
+// simulation can charge it to a core.
+package core
+
+import "fmt"
+
+// Mode selects the protection datapath.
+type Mode int
+
+const (
+	// Off disables the IOMMU: devices use physical addresses. Fastest,
+	// no protection (the paper's "IOMMU disabled" baseline).
+	Off Mode = iota
+	// Strict is Linux's strict mode: per-page IOVAs from the rcache
+	// allocator; on every descriptor completion each page is unmapped and
+	// a per-page invalidation drops its IOTLB entry and the PTcache
+	// entries covering it. Strongest safety, worst performance.
+	Strict
+	// Deferred is Linux's deferred (lazy) mode: unmaps happen immediately
+	// but invalidations are batched until a threshold and then flushed
+	// globally. Weaker safety: the device can reach unmapped pages until
+	// the flush.
+	Deferred
+	// StrictPreserve is ablation "Linux + A" from §4.3: strict mode, but
+	// invalidations preserve the page-table caches (invalidating them only
+	// when an unmap reclaims a page-table page).
+	StrictPreserve
+	// StrictContig is ablation "Linux + B" from §4.3: descriptor-sized
+	// contiguous IOVA allocation plus a single ranged (batched)
+	// invalidation per descriptor, but the invalidation still drops the
+	// page-table caches as in default Linux.
+	StrictContig
+	// FNS is the paper's Fast & Safe design: contiguous descriptor-sized
+	// IOVAs (B), IOTLB-only invalidations that preserve the page-table
+	// caches (A), PTcache invalidation only on page-table page
+	// reclamation, and one ranged invalidation-queue request per
+	// descriptor. Same safety as Strict.
+	FNS
+	// Persistent keeps IOVA-to-page mappings alive forever and recycles
+	// pre-mapped descriptors, in the spirit of DAMN [34] and the hugepage
+	// pinning of [16]. No unmap or invalidation cost, but the device
+	// retains access to recycled buffers: weaker safety.
+	Persistent
+	// FNSHuge is the paper's §5 future-work direction: F&S combined with
+	// hugepages to also reduce the IOTLB miss *count*. Rx descriptors are
+	// carved from 2MB huge mappings (one IOTLB entry per 512 pages);
+	// unmap + invalidation happen when a whole 2MB chunk's descriptors
+	// have completed. Safety is at hugepage granularity — stronger than
+	// deferred/persistent, weaker than strict's per-descriptor guarantee.
+	// The Tx datapath is unchanged from FNS.
+	FNSHuge
+)
+
+var modeNames = map[Mode]string{
+	Off:            "off",
+	Strict:         "strict",
+	Deferred:       "deferred",
+	StrictPreserve: "strict+preserve",
+	StrictContig:   "strict+contig",
+	FNS:            "fns",
+	Persistent:     "persistent",
+	FNSHuge:        "fns+huge",
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode maps a name (as printed by String) back to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for m, name := range modeNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q", s)
+}
+
+// Translated reports whether DMA addresses pass through the IOMMU in this
+// mode.
+func (m Mode) Translated() bool { return m != Off }
+
+// StrictSafety reports whether the mode guarantees the device cannot
+// access a buffer after its descriptor completes (the paper's strict
+// safety property).
+func (m Mode) StrictSafety() bool {
+	switch m {
+	case Strict, StrictPreserve, StrictContig, FNS:
+		return true
+	default:
+		return false
+	}
+}
+
+// Contiguous reports whether the mode allocates descriptor-sized (or
+// larger) contiguous IOVA chunks.
+func (m Mode) Contiguous() bool { return m == StrictContig || m == FNS || m == FNSHuge }
+
+// PreservesPTCaches reports whether invalidations keep the page-table
+// caches (F&S idea A).
+func (m Mode) PreservesPTCaches() bool {
+	return m == StrictPreserve || m == FNS || m == FNSHuge
+}
+
+// Modes lists all implemented modes in presentation order.
+func Modes() []Mode {
+	return []Mode{Off, Strict, Deferred, StrictPreserve, StrictContig, FNS, Persistent, FNSHuge}
+}

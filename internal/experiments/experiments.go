@@ -1,0 +1,626 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§2.2 and §4) as printable tables, one function per figure.
+// The per-experiment index in DESIGN.md maps each figure to the modules
+// and workloads used here.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/host"
+	"fastsafe/internal/model"
+	"fastsafe/internal/sim"
+	"fastsafe/internal/workload"
+)
+
+// Options control experiment durations. Quick() is used by the benchmark
+// harness and tests; Default() by cmd/fsbench.
+type Options struct {
+	Warmup  sim.Duration
+	Measure sim.Duration
+	// RPCMeasure lengthens latency experiments so tail percentiles have
+	// enough samples.
+	RPCMeasure sim.Duration
+}
+
+// Default returns full-length windows.
+func Default() Options {
+	return Options{
+		Warmup:     10 * sim.Millisecond,
+		Measure:    40 * sim.Millisecond,
+		RPCMeasure: 200 * sim.Millisecond,
+	}
+}
+
+// Quick returns short windows for benchmarks and smoke tests.
+func Quick() Options {
+	return Options{
+		Warmup:     3 * sim.Millisecond,
+		Measure:    10 * sim.Millisecond,
+		RPCMeasure: 30 * sim.Millisecond,
+	}
+}
+
+// Table is one figure's regenerated data.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// CSV renders the table as comma-separated values (header row first).
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func runSpec(s workload.Spec, o Options) host.Results {
+	s.Warmup = o.Warmup
+	s.Measure = o.Measure
+	r, err := s.Run()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", s.Name, err))
+	}
+	return r
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.3f%%", v*100) }
+
+// counterHeader is shared by the microbenchmark figures (panels a–e).
+var counterHeader = []string{
+	"mode", "flows/ring", "rx_gbps", "drop", "iotlb/pg", "ptL1/pg", "ptL2/pg", "ptL3/pg", "reads/pg", "acks/pg",
+}
+
+func counterRow(label string, r host.Results) []string {
+	return []string{
+		r.Mode.String(), label, f1(r.RxGbps), pct(r.DropRate),
+		f2(r.IOTLBPerPage), f3(r.L1PerPage), f3(r.L2PerPage), f3(r.L3PerPage),
+		f2(r.ReadsPerPage), f3(r.AcksPerPage),
+	}
+}
+
+var flowSweep = []int{5, 10, 20, 40}
+var ringSweep = []int{256, 512, 1024, 2048}
+
+// Fig2 regenerates Figure 2 (panels a–d): Linux strict vs IOMMU off with
+// increasing flow counts. Panel e's locality trace is Fig2e.
+func Fig2(o Options) Table {
+	t := Table{ID: "fig2", Title: "Linux strict vs IOMMU off, flow sweep (§2.2)", Header: counterHeader}
+	for _, mode := range []core.Mode{core.Off, core.Strict} {
+		for _, flows := range flowSweep {
+			r := runSpec(workload.Iperf(mode, flows, 0), o)
+			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("%d flows", flows), r))
+		}
+	}
+	return t
+}
+
+// localityTable summarises a reuse-distance trace the way Figures 2e/3e/
+// 7e/8e plot it: distribution of PTcache-L3 stack distances at allocation.
+func localityTable(id, title string, specs []workload.Spec, labels []string, o Options) Table {
+	t := Table{ID: id, Title: title,
+		Header: []string{"mode", "case", "allocs", "mean_dist", "frac>=32", "frac>=64", "frac>=128"}}
+	for i, s := range specs {
+		r := runSpec(s, o)
+		tr := r.Trace
+		if tr == nil {
+			continue
+		}
+		warm, sum := 0, 0
+		for _, d := range tr.Dists {
+			if d >= 0 {
+				warm++
+				sum += d
+			}
+		}
+		mean := 0.0
+		if warm > 0 {
+			mean = float64(sum) / float64(warm)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), labels[i], fmt.Sprintf("%d", len(tr.Dists)), f2(mean),
+			f3(tr.FractionAbove(32)), f3(tr.FractionAbove(64)), f3(tr.FractionAbove(128)),
+		})
+	}
+	return t
+}
+
+// Fig2e regenerates the Figure 2e IOVA locality panel.
+func Fig2e(o Options) Table {
+	var specs []workload.Spec
+	var labels []string
+	for _, flows := range flowSweep {
+		specs = append(specs, workload.IperfTrace(core.Strict, flows, 0, 200000))
+		labels = append(labels, fmt.Sprintf("%d flows", flows))
+	}
+	return localityTable("fig2e", "PTcache-L3 locality, Linux strict, flow sweep", specs, labels, o)
+}
+
+// Fig3 regenerates Figure 3 (a–d): ring-buffer-size sweep.
+func Fig3(o Options) Table {
+	t := Table{ID: "fig3", Title: "Linux strict vs IOMMU off, ring-size sweep (§2.2)", Header: counterHeader}
+	for _, mode := range []core.Mode{core.Off, core.Strict} {
+		for _, ring := range ringSweep {
+			r := runSpec(workload.Iperf(mode, 0, ring), o)
+			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("ring %d", ring), r))
+		}
+	}
+	return t
+}
+
+// Fig3e regenerates the Figure 3e locality panel.
+func Fig3e(o Options) Table {
+	var specs []workload.Spec
+	var labels []string
+	for _, ring := range ringSweep {
+		specs = append(specs, workload.IperfTrace(core.Strict, 0, ring, 200000))
+		labels = append(labels, fmt.Sprintf("ring %d", ring))
+	}
+	return localityTable("fig3e", "PTcache-L3 locality, Linux strict, ring sweep", specs, labels, o)
+}
+
+// Fig7 regenerates Figure 7 (a–d): F&S vs strict vs off, flow sweep.
+func Fig7(o Options) Table {
+	t := Table{ID: "fig7", Title: "F&S eliminates protection overheads, flow sweep (§4.1)", Header: counterHeader}
+	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
+		for _, flows := range flowSweep {
+			r := runSpec(workload.Iperf(mode, flows, 0), o)
+			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("%d flows", flows), r))
+		}
+	}
+	return t
+}
+
+// Fig7e regenerates the Figure 7e locality panel (F&S).
+func Fig7e(o Options) Table {
+	var specs []workload.Spec
+	var labels []string
+	for _, flows := range flowSweep {
+		specs = append(specs, workload.IperfTrace(core.FNS, flows, 0, 200000))
+		labels = append(labels, fmt.Sprintf("%d flows", flows))
+	}
+	return localityTable("fig7e", "PTcache-L3 locality, F&S, flow sweep", specs, labels, o)
+}
+
+// Fig8 regenerates Figure 8 (a–d): F&S ring-size sweep.
+func Fig8(o Options) Table {
+	t := Table{ID: "fig8", Title: "F&S under growing IO working sets, ring sweep (§4.1)", Header: counterHeader}
+	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
+		for _, ring := range ringSweep {
+			r := runSpec(workload.Iperf(mode, 0, ring), o)
+			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("ring %d", ring), r))
+		}
+	}
+	return t
+}
+
+// Fig8e regenerates the Figure 8e locality panel.
+func Fig8e(o Options) Table {
+	var specs []workload.Spec
+	var labels []string
+	for _, ring := range ringSweep {
+		specs = append(specs, workload.IperfTrace(core.FNS, 0, ring, 200000))
+		labels = append(labels, fmt.Sprintf("ring %d", ring))
+	}
+	return localityTable("fig8e", "PTcache-L3 locality, F&S, ring sweep", specs, labels, o)
+}
+
+// Fig9 regenerates Figure 9: RPC tail latency colocated with iperf.
+func Fig9(o Options) Table {
+	t := Table{ID: "fig9", Title: "RPC tail latency under colocated iperf (§4.1)",
+		Header: []string{"mode", "rpc_size", "p50_us", "p90_us", "p99_us", "p99.9_us", "p99.99_us", "rpcs"}}
+	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
+		for _, size := range []int{128, 4096, 32768} {
+			s := workload.RPC(mode, size)
+			s.Warmup = o.Warmup
+			s.Measure = o.RPCMeasure
+			r, err := s.Run()
+			if err != nil {
+				panic(err)
+			}
+			p := r.Percentiles()
+			us := func(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1000) }
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%dB", size),
+				us(p[0]), us(p[1]), us(p[2]), us(p[3]), us(p[4]),
+				fmt.Sprintf("%d", r.Completed),
+			})
+		}
+	}
+	return t
+}
+
+// Fig10 regenerates Figure 10: concurrent Rx and Tx bulk traffic.
+func Fig10(o Options) Table {
+	t := Table{ID: "fig10", Title: "Extreme Rx/Tx interference (§4.1)",
+		Header: []string{"mode", "core_pairs", "rx_gbps", "tx_gbps", "drop", "reads/pg"}}
+	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
+		for _, pairs := range []int{1, 2, 4} {
+			r := runSpec(workload.Bidirectional(mode, pairs), o)
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%d", pairs),
+				f1(r.RxGbps), f1(r.TxGbps), pct(r.DropRate), f2(r.ReadsPerPage),
+			})
+		}
+	}
+	return t
+}
+
+// appTable runs a Figure 11 application sweep.
+func appTable(id, title string, mk func(core.Mode, int) workload.Spec, sizes []int, o Options) Table {
+	t := Table{ID: id, Title: title,
+		Header: []string{"mode", "size", "app_gbps", "drop", "iotlb/pg", "reads/pg", "p99_us"}}
+	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
+		for _, size := range sizes {
+			r := runSpec(mk(mode, size), o)
+			p99 := float64(r.Percentiles()[2]) / 1000
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%dKB", size>>10),
+				f1(r.MsgGbps), pct(r.DropRate), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
+				f1(p99),
+			})
+		}
+	}
+	return t
+}
+
+// Fig11a regenerates the Redis experiment.
+func Fig11a(o Options) Table {
+	return appTable("fig11a", "Redis SET throughput vs value size (§4.2)",
+		workload.Redis, []int{4 << 10, 16 << 10, 64 << 10, 128 << 10}, o)
+}
+
+// Fig11b regenerates the Nginx experiment.
+func Fig11b(o Options) Table {
+	return appTable("fig11b", "Nginx page throughput vs page size (§4.2)",
+		workload.Nginx, []int{128 << 10, 512 << 10, 2 << 20}, o)
+}
+
+// Fig11c regenerates the SPDK experiment.
+func Fig11c(o Options) Table {
+	return appTable("fig11c", "SPDK read throughput vs block size (§4.2)",
+		workload.SPDK, []int{32 << 10, 64 << 10, 128 << 10, 256 << 10}, o)
+}
+
+// Fig12 regenerates the Figure 12 ablation: Linux, Linux+A (preserve),
+// Linux+B (contiguous+batched), F&S on the Redis 8KB-value workload.
+func Fig12(o Options) Table {
+	t := Table{ID: "fig12", Title: "Contribution of each F&S idea, Redis 8KB values (§4.3)",
+		Header: []string{"config", "app_gbps", "iotlb/pg", "ptL1/pg", "ptL3/pg", "reads/pg", "inv_reqs"}}
+	labels := map[core.Mode]string{
+		core.Strict:         "Linux",
+		core.StrictPreserve: "Linux+A (preserve PTcaches)",
+		core.StrictContig:   "Linux+B (contig+batch)",
+		core.FNS:            "F&S",
+	}
+	for _, mode := range []core.Mode{core.Strict, core.StrictPreserve, core.StrictContig, core.FNS} {
+		r := runSpec(workload.RedisAblation(mode), o)
+		t.Rows = append(t.Rows, []string{
+			labels[mode], f1(r.MsgGbps), f2(r.IOTLBPerPage), f3(r.L1PerPage), f3(r.L3PerPage),
+			f2(r.ReadsPerPage), fmt.Sprintf("%d", r.InvRequests),
+		})
+	}
+	return t
+}
+
+// Model validates the §2.2 analytic model against the simulator and
+// re-fits (l0, lm) from two operating points, as the paper does.
+func Model(o Options) Table {
+	t := Table{ID: "model", Title: "Analytic model T = p/(l0 + M*lm) vs simulation (§2.2)",
+		Header: []string{"mode", "flows", "sim_gbps", "model_gbps", "rel_err", "rx_reads/dma"}}
+	type pt struct {
+		m, thr float64
+	}
+	var pts []pt
+	for _, flows := range flowSweep {
+		r := runSpec(workload.Iperf(core.Strict, flows, 0), o)
+		frame := float64(4096 + 66)
+		ser := frame * 8 / 128
+		svc := model.L0Ns + r.RxReadsPerDMA*model.LmNs
+		if ser > svc {
+			svc = ser
+		}
+		est := 4096 * 8 / svc
+		if est > 100 {
+			est = 100
+		}
+		t.Rows = append(t.Rows, []string{
+			"strict", fmt.Sprintf("%d", flows), f1(r.RxGbps), f1(est),
+			pct(model.RelativeError(est, r.RxGbps)), f2(r.RxReadsPerDMA),
+		})
+		pts = append(pts, pt{r.RxReadsPerDMA, r.RxGbps})
+	}
+	if len(pts) >= 2 && pts[0].m != pts[len(pts)-1].m {
+		l0, lm, ok := model.FitL0Lm(4096, pts[0].m, pts[0].thr, pts[len(pts)-1].m, pts[len(pts)-1].thr)
+		if ok {
+			t.Rows = append(t.Rows, []string{
+				"fit", "-", "-", "-", fmt.Sprintf("l0=%.0fns", l0), fmt.Sprintf("lm=%.0fns", lm),
+			})
+		}
+	}
+	return t
+}
+
+// Deferred compares the safety/performance trade-off across all modes —
+// an extension table beyond the paper's figures.
+func Deferred(o Options) Table {
+	t := Table{ID: "modes", Title: "All protection modes, default iperf (extension)",
+		Header: []string{"mode", "strict_safety", "rx_gbps", "reads/pg", "inv_reqs", "stale_uses"}}
+	for _, mode := range core.Modes() {
+		r := runSpec(workload.Iperf(mode, 0, 0), o)
+		t.Rows = append(t.Rows, []string{
+			mode.String(), fmt.Sprintf("%v", mode.StrictSafety()),
+			f1(r.RxGbps), f2(r.ReadsPerPage),
+			fmt.Sprintf("%d", r.InvRequests), fmt.Sprintf("%d", r.StaleIOTLB+r.StalePT),
+		})
+	}
+	return t
+}
+
+// DescriptorSizes explores F&S on devices with smaller descriptors,
+// including the single-page-descriptor case (§3 "Generality").
+func DescriptorSizes(o Options) Table {
+	t := Table{ID: "descsize", Title: "F&S vs strict across descriptor sizes (§3 generality)",
+		Header: []string{"mode", "desc_pages", "rx_gbps", "reads/pg", "inv_reqs"}}
+	for _, mode := range []core.Mode{core.Strict, core.FNS} {
+		for _, pages := range []int{1, 4, 16, 64} {
+			s := workload.Iperf(mode, 0, 0)
+			s.Host.DescriptorPages = pages
+			if pages == 1 {
+				// A single-page descriptor (Intel ICE, §3 generality) can
+				// only hold standard-MTU frames.
+				s.Host.MTU = 1500
+				s.Host.RingPackets = 512
+			}
+			r := runSpec(s, o)
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%d", pages),
+				f1(r.RxGbps), f2(r.ReadsPerPage), fmt.Sprintf("%d", r.InvRequests),
+			})
+		}
+	}
+	return t
+}
+
+// CacheSizes sweeps the PTcache-L3 size — the footnote-3 sensitivity
+// study (extension).
+func CacheSizes(o Options) Table {
+	t := Table{ID: "ptcache", Title: "PTcache-L3 size sensitivity, Linux strict (extension)",
+		Header: []string{"mode", "l3_entries", "rx_gbps", "ptL3/pg", "reads/pg"}}
+	for _, mode := range []core.Mode{core.Strict, core.FNS} {
+		for _, size := range []int{16, 32, 64, 128} {
+			s := workload.Iperf(mode, 0, 0)
+			s.Host.IOMMU.L3Size = size
+			r := runSpec(s, o)
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%d", size),
+				f1(r.RxGbps), f3(r.L3PerPage), f2(r.ReadsPerPage),
+			})
+		}
+	}
+	return t
+}
+
+// Hugepages explores the paper's §5 future-work direction: F&S combined
+// with 2MB hugepage-backed descriptors, cutting the IOTLB miss count
+// itself (at 2MB revocation granularity).
+func Hugepages(o Options) Table {
+	t := Table{ID: "huge", Title: "F&S + hugepages: reducing the miss count too (§5 extension)",
+		Header: []string{"mode", "flows", "rx_gbps", "iotlb/pg", "reads/pg", "inv_reqs"}}
+	for _, mode := range []core.Mode{core.Strict, core.FNS, core.FNSHuge} {
+		for _, flows := range []int{5, 40} {
+			r := runSpec(workload.Iperf(mode, flows, 0), o)
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%d", flows),
+				f1(r.RxGbps), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
+				fmt.Sprintf("%d", r.InvRequests),
+			})
+		}
+	}
+	return t
+}
+
+// MemoryLatency sweeps the IOMMU-to-memory read latency l_m, the §2.2
+// memory-contention observation: higher memory access latency inflates the
+// per-walk cost, and F&S's ~1-read walks make it far less sensitive than
+// Linux strict's multi-read walks (extension).
+func MemoryLatency(o Options) Table {
+	t := Table{ID: "memlat", Title: "Sensitivity to memory read latency l_m (§2.2 contention, extension)",
+		Header: []string{"mode", "lm_ns", "rx_gbps", "reads/pg"}}
+	for _, mode := range []core.Mode{core.Strict, core.FNS} {
+		for _, lm := range []sim.Duration{197, 300, 400} {
+			s := workload.Iperf(mode, 0, 0)
+			s.Host.Lm = lm
+			r := runSpec(s, o)
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%d", int64(lm)),
+				f1(r.RxGbps), f2(r.ReadsPerPage),
+			})
+		}
+	}
+	return t
+}
+
+// Seeds reports run-to-run variance across simulation seeds (extension:
+// the paper reports single-testbed numbers; the simulator can quantify
+// sensitivity).
+func Seeds(o Options) Table {
+	t := Table{ID: "seeds", Title: "Throughput across simulation seeds (extension)",
+		Header: []string{"mode", "seed", "rx_gbps", "reads/pg", "drop"}}
+	for _, mode := range []core.Mode{core.Strict, core.FNS} {
+		for seed := int64(1); seed <= 4; seed++ {
+			s := workload.Iperf(mode, 0, 0)
+			s.Host.Seed = seed
+			r := runSpec(s, o)
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%d", seed),
+				f1(r.RxGbps), f2(r.ReadsPerPage), pct(r.DropRate),
+			})
+		}
+	}
+	return t
+}
+
+// Storage explores cross-device IOMMU contention (extension): an
+// NVMe-style storage device shares the IOMMU with the NIC; under strict
+// mode its per-block map/unmap/invalidate traffic pollutes the caches the
+// network datapath depends on.
+func Storage(o Options) Table {
+	t := Table{ID: "storage", Title: "Cross-device IOMMU contention: NIC + storage (extension)",
+		Header: []string{"mode", "storage_GBps", "rx_gbps", "iotlb/pg", "reads/pg", "blocks"}}
+	for _, mode := range []core.Mode{core.Strict, core.FNS} {
+		for _, gbps := range []float64{0, 4, 8} {
+			h, err := host.New(host.Config{Mode: mode})
+			if err != nil {
+				panic(err)
+			}
+			var dev interface{ Blocks() int64 }
+			if gbps > 0 {
+				dev = h.InstallStorage(host.StorageConfig{ReadGBps: gbps})
+			}
+			r := h.Run(o.Warmup, o.Measure)
+			blocks := int64(0)
+			if dev != nil {
+				blocks = dev.Blocks()
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%.0f", gbps),
+				f1(r.RxGbps), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
+				fmt.Sprintf("%d", blocks),
+			})
+		}
+	}
+	return t
+}
+
+// MemoryHog runs the network workloads against a co-tenant memory
+// antagonist: past the bus's calibration point, every page-table read
+// slows down, and strict mode's multi-read walks amplify the damage
+// (§2.2's memory-contention observation, emergent rather than swept).
+func MemoryHog(o Options) Table {
+	t := Table{ID: "memhog", Title: "Memory-bandwidth antagonist (§2.2 contention, extension)",
+		Header: []string{"mode", "hog_GBps", "rx_gbps", "mem_util", "reads/pg"}}
+	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
+		for _, hog := range []float64{0, 6, 12} {
+			s := workload.Iperf(mode, 0, 0)
+			s.Host.MemHogGBps = hog
+			r := runSpec(s, o)
+			t.Rows = append(t.Rows, []string{
+				mode.String(), fmt.Sprintf("%.0f", hog),
+				f1(r.RxGbps), f2(r.MemUtil), f2(r.ReadsPerPage),
+			})
+		}
+	}
+	return t
+}
+
+// CPUCost reports the driver-side protection CPU time per gigabyte moved —
+// the per-core efficiency angle of [39, 42] that motivates F&S's batched
+// invalidations (extension).
+func CPUCost(o Options) Table {
+	t := Table{ID: "cpucost", Title: "Protection CPU cost per GB (extension, cf. [39, 42])",
+		Header: []string{"mode", "rx_gbps", "cpu_ms_per_GB", "inv_reqs"}}
+	for _, mode := range core.Modes() {
+		s := workload.Iperf(mode, 0, 0)
+		h, err := host.New(s.Host)
+		if err != nil {
+			panic(err)
+		}
+		before := h.Domain().Counters().CPUTime
+		r := h.Run(o.Warmup, o.Measure)
+		cpu := h.Domain().Counters().CPUTime - before
+		gb := r.RxGbps * float64(r.Measure) / 8e9 // GB moved in the window
+		ms := 0.0
+		if gb > 0 {
+			ms = float64(cpu) / 1e6 / gb
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.String(), f1(r.RxGbps), f2(ms), fmt.Sprintf("%d", r.InvRequests),
+		})
+	}
+	return t
+}
+
+// All runs every figure and extension table.
+func All(o Options) []Table {
+	return []Table{
+		Fig2(o), Fig2e(o), Fig3(o), Fig3e(o),
+		Fig7(o), Fig7e(o), Fig8(o), Fig8e(o),
+		Fig9(o), Fig10(o),
+		Fig11a(o), Fig11b(o), Fig11c(o),
+		Fig12(o), Model(o), Deferred(o), DescriptorSizes(o), CacheSizes(o),
+		Hugepages(o), MemoryLatency(o), Seeds(o), Storage(o), MemoryHog(o),
+		CPUCost(o),
+	}
+}
+
+// ByID returns one table by its figure id.
+func ByID(id string, o Options) (Table, error) {
+	fns := map[string]func(Options) Table{
+		"fig2": Fig2, "fig2e": Fig2e, "fig3": Fig3, "fig3e": Fig3e,
+		"fig7": Fig7, "fig7e": Fig7e, "fig8": Fig8, "fig8e": Fig8e,
+		"fig9": Fig9, "fig10": Fig10,
+		"fig11a": Fig11a, "fig11b": Fig11b, "fig11c": Fig11c,
+		"fig12": Fig12, "model": Model, "modes": Deferred,
+		"descsize": DescriptorSizes, "ptcache": CacheSizes, "huge": Hugepages,
+		"memlat": MemoryLatency, "seeds": Seeds, "storage": Storage,
+		"memhog": MemoryHog, "cpucost": CPUCost,
+	}
+	f, ok := fns[id]
+	if !ok {
+		return Table{}, fmt.Errorf("experiments: unknown figure %q (see IDs())", id)
+	}
+	return f(o), nil
+}
+
+// IDs lists the available figure ids in presentation order.
+func IDs() []string {
+	return []string{
+		"fig2", "fig2e", "fig3", "fig3e", "fig7", "fig7e", "fig8", "fig8e",
+		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
+		"model", "modes", "descsize", "ptcache", "huge", "memlat", "seeds",
+		"storage", "memhog", "cpucost",
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns extremely short windows so the whole figure set can be
+// exercised in the unit-test budget.
+func tiny() Options {
+	o := Quick()
+	o.Warmup /= 3
+	o.Measure /= 3
+	o.RPCMeasure /= 3
+	return o
+}
+
+func TestIDsAllResolvable(t *testing.T) {
+	for _, id := range IDs() {
+		if _, err := ByID(id, Options{}); id == "" || err != nil && !strings.Contains(err.Error(), "unknown") {
+			// We don't run them here (expensive); just check registration
+			// below with one cheap figure.
+			break
+		}
+	}
+	if _, err := ByID("nope", tiny()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab := Fig12(tiny())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig12 rows = %d, want 4 configurations", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Linux" || tab.Rows[3][0] != "F&S" {
+		t.Fatalf("fig12 labels = %v", tab.Rows)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "fig12") || !strings.Contains(out, "app_gbps") {
+		t.Fatalf("table formatting: %q", out)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10(tiny())
+	if len(tab.Rows) != 9 {
+		t.Fatalf("fig10 rows = %d, want 3 modes x 3 core counts", len(tab.Rows))
+	}
+}
+
+func TestFig2eLocality(t *testing.T) {
+	tab := Fig2e(tiny())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig2e rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[0] != "strict" {
+			t.Fatalf("fig2e mode = %q", row[0])
+		}
+	}
+}
+
+func TestModelTableIncludesFit(t *testing.T) {
+	tab := Model(tiny())
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "fit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("model table missing the (l0, lm) re-fit row")
+	}
+}
+
+func TestTableStringAligned(t *testing.T) {
+	tab := Table{ID: "x", Title: "t", Header: []string{"a", "bbbb"},
+		Rows: [][]string{{"lonnng", "1"}}}
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "lonnng") {
+		t.Fatalf("row line = %q", lines[2])
+	}
+}
+
+func TestByIDRunsOneFigure(t *testing.T) {
+	tab, err := ByID("modes", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("modes rows = %d, want 8", len(tab.Rows))
+	}
+}
+
+func TestExtensionTablesShape(t *testing.T) {
+	o := tiny()
+	if tab := Hugepages(o); len(tab.Rows) != 6 {
+		t.Fatalf("huge rows = %d", len(tab.Rows))
+	}
+	if tab := CPUCost(o); len(tab.Rows) != 8 {
+		t.Fatalf("cpucost rows = %d", len(tab.Rows))
+	}
+	if tab := Storage(o); len(tab.Rows) != 6 {
+		t.Fatalf("storage rows = %d", len(tab.Rows))
+	}
+	if tab := MemoryHog(o); len(tab.Rows) != 9 {
+		t.Fatalf("memhog rows = %d", len(tab.Rows))
+	}
+	if tab := Seeds(o); len(tab.Rows) != 8 {
+		t.Fatalf("seeds rows = %d", len(tab.Rows))
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	tab := Table{ID: "x", Title: "t", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}, {"3", "4"}}}
+	got := tab.CSV()
+	want := "a,b\n1,2\n3,4\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

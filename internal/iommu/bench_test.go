@@ -1,0 +1,57 @@
+package iommu
+
+import (
+	"testing"
+
+	"fastsafe/internal/ptable"
+)
+
+func benchIOMMU(b *testing.B, pages int) *IOMMU {
+	b.Helper()
+	m := New(Config{})
+	for i := 0; i < pages; i++ {
+		if err := m.Table().Map(ptable.IOVA(uint64(i)*ptable.PageSize), ptable.Phys(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+func BenchmarkTranslateIOTLBHit(b *testing.B) {
+	m := benchIOMMU(b, 1)
+	m.Translate(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Translate(0)
+	}
+}
+
+func BenchmarkTranslateWalkPTCacheHit(b *testing.B) {
+	m := benchIOMMU(b, 2)
+	m.Translate(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Invalidate(ptable.PageSize, 1, true)
+		m.Translate(ptable.PageSize)
+	}
+}
+
+func BenchmarkTranslateColdWalk(b *testing.B) {
+	m := benchIOMMU(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Invalidate(0, 2, false)
+		m.Translate(0)
+	}
+}
+
+func BenchmarkInvalidateRange(b *testing.B) {
+	m := benchIOMMU(b, 64)
+	for i := 0; i < 64; i++ {
+		m.Translate(ptable.IOVA(uint64(i) * ptable.PageSize))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Invalidate(0, 64, true)
+	}
+}

@@ -1,0 +1,360 @@
+package iommu
+
+import (
+	"fastsafe/internal/ptable"
+)
+
+// Config sizes the IOMMU caches. Zero fields take defaults.
+//
+// Intel does not publish the IO page-table cache sizes; the paper's
+// footnote 3 estimates 64–128 entries for PTcache-L3 from measurements,
+// and §4.1's working-set arithmetic assumes 32 entries for PTcache-L1/L2.
+// The defaults here (L1/L2 = 32, L3 = 32) are calibrated so the simulated
+// Linux-strict miss rates land on the paper's measured values.
+type Config struct {
+	IOTLBSets int // number of IOTLB sets (default 16)
+	IOTLBWays int // associativity (default 4; 16x4 = 64 entries)
+	L1Size    int // PTcache-L1 entries (default 32)
+	L2Size    int // PTcache-L2 entries (default 32)
+	L3Size    int // PTcache-L3 entries (default 32)
+}
+
+func (c Config) withDefaults() Config {
+	if c.IOTLBSets == 0 {
+		c.IOTLBSets = 16
+	}
+	if c.IOTLBWays == 0 {
+		c.IOTLBWays = 4
+	}
+	if c.L1Size == 0 {
+		c.L1Size = 32
+	}
+	if c.L2Size == 0 {
+		c.L2Size = 32
+	}
+	if c.L3Size == 0 {
+		c.L3Size = 32
+	}
+	return c
+}
+
+// Counters is the simulator's analogue of the PCM counters the paper
+// samples. Miss counters follow the paper's accounting (§2.2): L3Misses
+// counts walks where PTcache-L3 missed; L2Misses counts walks where both
+// PTcache-L2 and L3 missed; L1Misses counts walks where all three levels
+// missed. MemReads is then IOTLBMisses + L3Misses + L2Misses + L1Misses.
+type Counters struct {
+	Translations int64
+	IOTLBHits    int64
+	IOTLBMisses  int64
+	Walks        int64
+	MemReads     int64
+	L3Misses     int64
+	L2Misses     int64
+	L1Misses     int64
+	Faults       int64 // translation failed: no mapping and no cached entry
+
+	// Safety accounting. StaleIOTLBUses counts translations served from an
+	// IOTLB entry whose mapping has been unmapped (possible only in
+	// deferred-style modes). StalePTUses counts walks that consulted a
+	// PTcache entry pointing to a reclaimed page-table page (must be zero
+	// in every mode — F&S invalidates on reclamation precisely for this).
+	StaleIOTLBUses int64
+	StalePTUses    int64
+
+	InvRequests      int64 // invalidation-queue requests submitted
+	IOTLBInvalidated int64 // IOTLB entries actually removed
+	PTInvalidated    int64 // PTcache entries actually removed
+}
+
+// Translation is the outcome of translating one PCIe transaction's IOVA.
+type Translation struct {
+	Phys     ptable.Phys
+	OK       bool // translation produced an address
+	IOTLBHit bool
+	MemReads int  // page-table reads performed (0 on IOTLB hit)
+	Stale    bool // served by a stale IOTLB entry (safety violation)
+}
+
+// DomainID names one protection domain: one device's IOVA space and IO
+// page table. All domains share the IOMMU's caches and walkers — entries
+// are tagged by domain, exactly as VT-d tags IOTLB/PTcache entries with
+// the domain identifier — so devices contend for capacity but can never
+// use each other's translations.
+type DomainID uint32
+
+// IOMMU couples the shared translation caches with per-domain IO page
+// tables.
+type IOMMU struct {
+	cfg     Config
+	tables  map[DomainID]*ptable.Table
+	nextDom DomainID
+	iotlb   *setAssoc
+	l1      *lru // (domain, L1Key) -> PT-L2 page id
+	l2      *lru // (domain, L2Key) -> PT-L3 page id
+	l3      *lru // (domain, L3Key) -> PT-L4 page id
+	c       Counters
+}
+
+// New returns an IOMMU with a single default domain (id 0).
+func New(cfg Config) *IOMMU {
+	cfg = cfg.withDefaults()
+	m := &IOMMU{
+		cfg:    cfg,
+		tables: map[DomainID]*ptable.Table{0: ptable.New()},
+		iotlb:  newSetAssoc(cfg.IOTLBSets, cfg.IOTLBWays),
+		l1:     newLRU(cfg.L1Size),
+		l2:     newLRU(cfg.L2Size),
+		l3:     newLRU(cfg.L3Size),
+	}
+	m.nextDom = 1
+	return m
+}
+
+// CreateDomain allocates a fresh protection domain with its own IO page
+// table (one per device, as the kernel does for non-virtualised hosts).
+func (m *IOMMU) CreateDomain() DomainID {
+	id := m.nextDom
+	m.nextDom++
+	m.tables[id] = ptable.New()
+	return id
+}
+
+// TableOf exposes a domain's IO page table.
+func (m *IOMMU) TableOf(d DomainID) *ptable.Table { return m.tables[d] }
+
+// Table exposes the default domain's page table.
+func (m *IOMMU) Table() *ptable.Table { return m.tables[0] }
+
+// domKey namespaces a cache key by domain: every key fits in 44 bits
+// (page numbers are at most 2^36), leaving the domain tag and the
+// huge-entry bit disjoint.
+func domKey(d DomainID, key uint64) uint64 { return uint64(d)<<44 | key }
+
+// Counters returns a snapshot of the hardware counters.
+func (m *IOMMU) Counters() Counters { return m.c }
+
+// ResetCounters zeroes the counters (e.g. after warmup).
+func (m *IOMMU) ResetCounters() { m.c = Counters{} }
+
+// iotlbVal packs a physical page frame into the cache value. The low bit
+// flags nothing; staleness is detected against the live table.
+func iotlbVal(p ptable.Phys) uint64 { return uint64(p) }
+
+// hugeTag distinguishes 2MB-entry IOTLB keys from 4KB-entry keys: real
+// IOTLBs tag entries with their page size and look both up associatively.
+const hugeTag = uint64(1) << 63
+
+func hugeKey(v ptable.IOVA) uint64 { return v.L3Key() | hugeTag }
+
+// Translate performs the address translation in the default domain.
+func (m *IOMMU) Translate(v ptable.IOVA) Translation { return m.TranslateIn(0, v) }
+
+// TranslateIn performs the address translation for one PCIe transaction
+// from domain d targeting v, updating caches and counters exactly as the
+// hardware pipeline in §2.1 step 3: IOTLB lookup, then a page-table walk
+// that first probes the three page-table caches (in parallel) and starts
+// the walk at the deepest level that hits.
+func (m *IOMMU) TranslateIn(d DomainID, v ptable.IOVA) Translation {
+	table := m.tables[d]
+	m.c.Translations++
+	pn := domKey(d, v.PageNumber())
+	if val, ok := m.iotlb.get(pn); ok {
+		m.c.IOTLBHits++
+		t := Translation{Phys: ptable.Phys(val), OK: true, IOTLBHit: true}
+		// A hit for an unmapped IOVA means the device retained access
+		// after unmap — the deferred-mode safety hole.
+		if !table.Mapped(v) {
+			m.c.StaleIOTLBUses++
+			t.Stale = true
+		}
+		return t
+	}
+	if val, ok := m.iotlb.get(domKey(d, hugeKey(v))); ok {
+		// A 2MB IOTLB entry covers this address.
+		m.c.IOTLBHits++
+		phys := ptable.Phys(val + uint64(v)%ptable.HugeSize)
+		t := Translation{Phys: phys, OK: true, IOTLBHit: true}
+		if !table.HugeMapped(v) {
+			m.c.StaleIOTLBUses++
+			t.Stale = true
+		}
+		return t
+	}
+	m.c.IOTLBMisses++
+	m.c.Walks++
+
+	// Huge-leaf walk: the PT-L3 entry is the leaf, so PTcache-L3 is not
+	// involved — best case (PTcache-L2 hit) is one read of the leaf.
+	if w, huge, ok := table.LookupHugeAware(v); ok && huge {
+		_, l2hit := m.l2.get(domKey(d, v.L2Key()))
+		_, l1hit := m.l1.get(domKey(d, v.L1Key()))
+		reads := 0
+		switch {
+		case l2hit:
+			reads = 1
+		case l1hit:
+			reads = 2
+			m.c.L2Misses++
+		default:
+			reads = 3
+			m.c.L2Misses++
+			m.c.L1Misses++
+		}
+		m.c.MemReads += int64(reads)
+		m.l1.put(domKey(d, v.L1Key()), w.PageID[1])
+		m.l2.put(domKey(d, v.L2Key()), w.PageID[2])
+		m.iotlb.put(domKey(d, hugeKey(v)), uint64(w.Phys)-uint64(v)%ptable.HugeSize)
+		return Translation{Phys: w.Phys, OK: true, MemReads: reads}
+	}
+
+	// Probe the page-table caches. Hardware probes all three in parallel;
+	// the deepest hit determines how many page-table reads remain.
+	l3id, l3hit := m.l3.get(domKey(d, v.L3Key()))
+	l2id, l2hit := m.l2.get(domKey(d, v.L2Key()))
+	l1id, l1hit := m.l1.get(domKey(d, v.L1Key()))
+
+	reads := 0
+	switch {
+	case l3hit:
+		reads = 1 // read the PT-L4 entry only
+	case l2hit:
+		reads = 2 // PT-L4 page address from PT-L3, then PT-L4
+		m.c.L3Misses++
+	case l1hit:
+		reads = 3
+		m.c.L3Misses++
+		m.c.L2Misses++
+	default:
+		reads = 4
+		m.c.L3Misses++
+		m.c.L2Misses++
+		m.c.L1Misses++
+	}
+	// Per the paper's accounting (§2.2), an upper-level miss is only
+	// counted when every deeper level also missed — the switch above
+	// already encodes that.
+	m.c.MemReads += int64(reads)
+
+	w, mapped := table.Lookup(v)
+	if !mapped {
+		// Hardware would take a DMA remapping fault. If a stale PTcache
+		// entry was consulted, account the unsafe read of freed memory.
+		m.checkStalePT(table, v, l3hit, l3id, l2hit, l2id, l1hit, l1id, ptable.Walk{})
+		m.c.Faults++
+		return Translation{OK: false, MemReads: reads}
+	}
+	m.checkStalePT(table, v, l3hit, l3id, l2hit, l2id, l1hit, l1id, w)
+
+	// Fill caches with the walk results.
+	m.l1.put(domKey(d, v.L1Key()), w.PageID[1])
+	m.l2.put(domKey(d, v.L2Key()), w.PageID[2])
+	m.l3.put(domKey(d, v.L3Key()), w.PageID[3])
+	m.iotlb.put(pn, iotlbVal(w.Phys))
+	return Translation{Phys: w.Phys, OK: true, MemReads: reads}
+}
+
+// checkStalePT detects PTcache entries that point to page-table pages no
+// longer on v's translation path (reclaimed or replaced). Any such use is
+// a memory-safety violation in real hardware; every protection mode in
+// this repository must keep this counter at zero.
+func (m *IOMMU) checkStalePT(table *ptable.Table, v ptable.IOVA, l3hit bool, l3id uint64, l2hit bool, l2id uint64, l1hit bool, l1id uint64, w ptable.Walk) {
+	ids := w.PageID
+	if ids == (ptable.Walk{}).PageID {
+		ids = table.PageIDs(v)
+	}
+	if l1hit && l1id != ids[1] {
+		m.c.StalePTUses++
+	}
+	if l2hit && l2id != ids[2] {
+		m.c.StalePTUses++
+	}
+	if l3hit && l3id != ids[3] {
+		m.c.StalePTUses++
+	}
+}
+
+// Invalidate services one invalidation-queue request covering
+// [base, base+pages*4KB): the IOTLB entries in the range are always
+// dropped; unless iotlbOnly is set, the PTcache-L1/L2/L3 entries whose
+// spans overlap the range are dropped too — this is exactly Linux's
+// behaviour on IOVA unmap, and the iotlbOnly flag is the invalidation-
+// queue option F&S sets to preserve the page-table caches (§3).
+func (m *IOMMU) Invalidate(base ptable.IOVA, pages int, iotlbOnly bool) {
+	m.InvalidateIn(0, base, pages, iotlbOnly)
+}
+
+// InvalidateIn is Invalidate scoped to domain d: only d's cache entries
+// are affected (VT-d invalidations carry the domain id).
+func (m *IOMMU) InvalidateIn(d DomainID, base ptable.IOVA, pages int, iotlbOnly bool) {
+	m.c.InvRequests++
+	for i := 0; i < pages; i++ {
+		v := base + ptable.IOVA(i*ptable.PageSize)
+		if m.iotlb.invalidate(domKey(d, v.PageNumber())) {
+			m.c.IOTLBInvalidated++
+		}
+		// Also drop any 2MB entry covering this address (once per span:
+		// at the range start and at each 2MB boundary).
+		if i == 0 || v.L4Index() == 0 {
+			if m.iotlb.invalidate(domKey(d, hugeKey(v))) {
+				m.c.IOTLBInvalidated++
+			}
+		}
+		if iotlbOnly {
+			continue
+		}
+		if m.l3.invalidate(domKey(d, v.L3Key())) {
+			m.c.PTInvalidated++
+		}
+		if m.l2.invalidate(domKey(d, v.L2Key())) {
+			m.c.PTInvalidated++
+		}
+		if m.l1.invalidate(domKey(d, v.L1Key())) {
+			m.c.PTInvalidated++
+		}
+	}
+}
+
+// InvalidateReclaimed drops the PTcache entries that point at reclaimed
+// page-table pages. F&S calls this when (and only when) an unmap operation
+// reclaims pages, keeping stale-entry use impossible while preserving the
+// caches in the common case.
+func (m *IOMMU) InvalidateReclaimed(reclaimed []ptable.ReclaimedPage) {
+	m.InvalidateReclaimedIn(0, reclaimed)
+}
+
+// InvalidateReclaimedIn drops domain d's PTcache entries pointing at
+// reclaimed page-table pages.
+func (m *IOMMU) InvalidateReclaimedIn(d DomainID, reclaimed []ptable.ReclaimedPage) {
+	for _, r := range reclaimed {
+		switch r.Level {
+		case 4: // a PT-L4 page is pointed to by a PTcache-L3 entry
+			if m.l3.invalidate(domKey(d, r.Key)) {
+				m.c.PTInvalidated++
+			}
+		case 3:
+			if m.l2.invalidate(domKey(d, r.Key)) {
+				m.c.PTInvalidated++
+			}
+		case 2:
+			if m.l1.invalidate(domKey(d, r.Key)) {
+				m.c.PTInvalidated++
+			}
+		}
+	}
+}
+
+// FlushAll empties every cache (global invalidation, used at domain
+// teardown and by tests).
+func (m *IOMMU) FlushAll() {
+	cfg := m.cfg
+	m.iotlb = newSetAssoc(cfg.IOTLBSets, cfg.IOTLBWays)
+	m.l1 = newLRU(cfg.L1Size)
+	m.l2 = newLRU(cfg.L2Size)
+	m.l3 = newLRU(cfg.L3Size)
+}
+
+// CacheOccupancy reports live entries per cache: IOTLB, L1, L2, L3.
+func (m *IOMMU) CacheOccupancy() (int, int, int, int) {
+	return m.iotlb.len(), m.l1.len(), m.l2.len(), m.l3.len()
+}

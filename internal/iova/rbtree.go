@@ -1,0 +1,352 @@
+// Package iova implements the IO virtual address allocators described in
+// §2.1 and §2.2 of the paper:
+//
+//   - TreeAllocator: the base allocator — allocated ranges live in a
+//     red-black tree ordered by address and new ranges are carved top-down
+//     from the top of the 48-bit space, keeping the active set compact
+//     (the property §2.2 relies on when sizing PTcache working sets).
+//   - CachedAllocator: the Linux "rcache" front-end — per-CPU pairs of
+//     LIFO magazines plus a global depot of full magazines. It gives O(1)
+//     alloc/free in the common case but lets IOVAs migrate between CPUs
+//     and between the Rx and Tx datapaths, which is the root cause of the
+//     poor PTcache-L3 locality shown in Figures 2e/3e.
+//
+// The F&S contiguous allocation policy (§3) is deliberately *not* an
+// allocator change: the paper keeps the allocator interface intact and
+// instead has the IOMMU-driver datapath allocate descriptor-sized ranges.
+// That logic lives in internal/core.
+package iova
+
+// Red-black tree of allocated IOVA ranges, keyed by range start. The
+// implementation follows the classic CLRS algorithms; it exists (rather
+// than a sorted slice) because the paper and Peleg et al. [39] discuss the
+// tree's behaviour — worst-case linear scans for gap-finding and the CPU
+// cost of rebalancing — and the simulator charges CPU cost per tree
+// operation.
+
+type color bool
+
+const (
+	red   color = true
+	black color = false
+)
+
+// node is an allocated range [start, start+npages) in 4KB pages.
+type node struct {
+	start  uint64 // page frame number (IOVA >> 12)
+	npages uint64
+	c      color
+	parent *node
+	left   *node
+	right  *node
+}
+
+func (n *node) end() uint64 { return n.start + n.npages }
+
+// rbtree is an intrusive red-black tree of non-overlapping ranges.
+type rbtree struct {
+	root *node
+	size int
+}
+
+func (t *rbtree) isRed(n *node) bool { return n != nil && n.c == red }
+
+func (t *rbtree) rotateLeft(x *node) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *rbtree) rotateRight(x *node) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// insert adds n to the tree. Ranges must not overlap existing ones; the
+// allocator guarantees this by construction.
+func (t *rbtree) insert(n *node) {
+	var parent *node
+	cur := t.root
+	for cur != nil {
+		parent = cur
+		if n.start < cur.start {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	n.parent = parent
+	n.left, n.right = nil, nil
+	n.c = red
+	switch {
+	case parent == nil:
+		t.root = n
+	case n.start < parent.start:
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	t.size++
+	t.insertFixup(n)
+}
+
+func (t *rbtree) insertFixup(z *node) {
+	for t.isRed(z.parent) {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if t.isRed(u) {
+				z.parent.c = black
+				u.c = black
+				gp.c = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.c = black
+			gp.c = red
+			t.rotateRight(gp)
+		} else {
+			u := gp.left
+			if t.isRed(u) {
+				z.parent.c = black
+				u.c = black
+				gp.c = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.c = black
+			gp.c = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.c = black
+}
+
+func (t *rbtree) minimum(n *node) *node {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func (t *rbtree) maximum(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// successor returns the node with the smallest start greater than n's.
+func (t *rbtree) successor(n *node) *node {
+	if n.right != nil {
+		return t.minimum(n.right)
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+// predecessor returns the node with the largest start smaller than n's.
+func (t *rbtree) predecessor(n *node) *node {
+	if n.left != nil {
+		return t.maximum(n.left)
+	}
+	p := n.parent
+	for p != nil && n == p.left {
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+// find returns the node whose range contains pfn, or nil.
+func (t *rbtree) find(pfn uint64) *node {
+	cur := t.root
+	for cur != nil {
+		switch {
+		case pfn < cur.start:
+			cur = cur.left
+		case pfn >= cur.end():
+			cur = cur.right
+		default:
+			return cur
+		}
+	}
+	return nil
+}
+
+func (t *rbtree) transplant(u, v *node) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+// remove deletes n from the tree (CLRS RB-DELETE).
+func (t *rbtree) remove(z *node) {
+	t.size--
+	y := z
+	yOrig := y.c
+	var x *node
+	var xParent *node
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOrig = y.c
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.c = z.c
+	}
+	if yOrig == black {
+		t.deleteFixup(x, xParent)
+	}
+	z.parent, z.left, z.right = nil, nil, nil
+}
+
+func (t *rbtree) deleteFixup(x *node, parent *node) {
+	for x != t.root && !t.isRed(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if t.isRed(w) {
+				w.c = black
+				parent.c = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if !t.isRed(w.left) && !t.isRed(w.right) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if !t.isRed(w.right) {
+					if w.left != nil {
+						w.left.c = black
+					}
+					w.c = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.right != nil {
+					w.right.c = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if t.isRed(w) {
+				w.c = black
+				parent.c = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if !t.isRed(w.left) && !t.isRed(w.right) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if !t.isRed(w.left) {
+					if w.right != nil {
+						w.right.c = black
+					}
+					w.c = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.left != nil {
+					w.left.c = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.c = black
+	}
+}

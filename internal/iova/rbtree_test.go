@@ -1,0 +1,144 @@
+package iova
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkRB validates the red-black invariants and BST ordering, returning
+// the tree's black height.
+func checkRB(t *testing.T, tr *rbtree) {
+	t.Helper()
+	if tr.root != nil && tr.root.c != black {
+		t.Fatal("root is not black")
+	}
+	var walk func(n *node, lo, hi uint64) int
+	walk = func(n *node, lo, hi uint64) int {
+		if n == nil {
+			return 1
+		}
+		if n.start < lo || n.start >= hi {
+			t.Fatalf("BST order violated at %d (bounds %d..%d)", n.start, lo, hi)
+		}
+		if n.c == red {
+			if tr.isRed(n.left) || tr.isRed(n.right) {
+				t.Fatal("red node has red child")
+			}
+		}
+		if n.left != nil && n.left.parent != n {
+			t.Fatal("broken parent pointer (left)")
+		}
+		if n.right != nil && n.right.parent != n {
+			t.Fatal("broken parent pointer (right)")
+		}
+		lb := walk(n.left, lo, n.start)
+		rb := walk(n.right, n.start+1, hi)
+		if lb != rb {
+			t.Fatalf("black height mismatch at %d: %d vs %d", n.start, lb, rb)
+		}
+		if n.c == black {
+			return lb + 1
+		}
+		return lb
+	}
+	walk(tr.root, 0, ^uint64(0))
+}
+
+func TestRBInsertRemoveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := &rbtree{}
+	nodes := map[uint64]*node{}
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(3) != 0 || len(nodes) == 0 {
+			start := uint64(rng.Intn(100000))
+			if _, dup := nodes[start]; dup {
+				continue
+			}
+			n := &node{start: start, npages: 1}
+			nodes[start] = n
+			tr.insert(n)
+		} else {
+			// Remove a random existing node.
+			for s, n := range nodes {
+				tr.remove(n)
+				delete(nodes, s)
+				break
+			}
+		}
+		if i%100 == 0 {
+			checkRB(t, tr)
+		}
+	}
+	checkRB(t, tr)
+	if tr.size != len(nodes) {
+		t.Fatalf("size = %d, want %d", tr.size, len(nodes))
+	}
+}
+
+func TestRBInOrderTraversal(t *testing.T) {
+	tr := &rbtree{}
+	starts := []uint64{50, 10, 90, 30, 70, 20, 80}
+	for _, s := range starts {
+		tr.insert(&node{start: s, npages: 1})
+	}
+	var got []uint64
+	for n := tr.minimum(tr.root); n != nil; n = tr.successor(n) {
+		got = append(got, n.start)
+	}
+	want := append([]uint64(nil), starts...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("traversal length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("traversal = %v, want %v", got, want)
+		}
+	}
+	// Backward traversal via predecessor.
+	var back []uint64
+	for n := tr.maximum(tr.root); n != nil; n = tr.predecessor(n) {
+		back = append(back, n.start)
+	}
+	for i := range want {
+		if back[len(back)-1-i] != want[i] {
+			t.Fatalf("backward traversal = %v", back)
+		}
+	}
+}
+
+func TestRBFind(t *testing.T) {
+	tr := &rbtree{}
+	tr.insert(&node{start: 100, npages: 10})
+	tr.insert(&node{start: 200, npages: 5})
+	if n := tr.find(105); n == nil || n.start != 100 {
+		t.Fatal("find inside range failed")
+	}
+	if n := tr.find(110); n != nil {
+		t.Fatal("find just past range succeeded")
+	}
+	if n := tr.find(99); n != nil {
+		t.Fatal("find below range succeeded")
+	}
+	if n := tr.find(204); n == nil || n.start != 200 {
+		t.Fatal("find in second range failed")
+	}
+}
+
+func TestRBRemoveAll(t *testing.T) {
+	tr := &rbtree{}
+	var ns []*node
+	for i := uint64(0); i < 100; i++ {
+		n := &node{start: i * 10, npages: 1}
+		ns = append(ns, n)
+		tr.insert(n)
+	}
+	for _, n := range ns {
+		tr.remove(n)
+		checkRB(t, tr)
+	}
+	if tr.root != nil || tr.size != 0 {
+		t.Fatal("tree not empty after removing all")
+	}
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputMatchesPaperExamples(t *testing.T) {
+	// §2.2: with l0=65ns, lm=197ns and 1.76 reads per 4KB packet the
+	// model predicts ~79.5Gbps; with 4.36 reads ~35.6Gbps.
+	got := ThroughputGbps(4096, 1.76, L0Ns, LmNs, 100)
+	if math.Abs(got-79.5) > 1.0 {
+		t.Fatalf("5-flow estimate = %.1f, want ~79.5", got)
+	}
+	got = ThroughputGbps(4096, 4.36, L0Ns, LmNs, 100)
+	if math.Abs(got-35.5) > 1.0 {
+		t.Fatalf("40-flow estimate = %.1f, want ~35.5", got)
+	}
+}
+
+func TestThroughputCappedByLink(t *testing.T) {
+	// Zero reads: 4096*8/65 = 504Gbps, capped at the 100Gbps line rate.
+	if got := ThroughputGbps(4096, 0, L0Ns, LmNs, 100); got != 100 {
+		t.Fatalf("uncapped estimate = %v, want 100", got)
+	}
+}
+
+func TestThroughputDegenerate(t *testing.T) {
+	if ThroughputGbps(0, 1, L0Ns, LmNs, 100) != 0 {
+		t.Fatal("zero packet size should yield 0")
+	}
+	if ThroughputGbps(4096, 0, 0, 0, 100) != 100 {
+		t.Fatal("zero latency should clamp to link rate")
+	}
+}
+
+func TestFitRecoversConstants(t *testing.T) {
+	// Generate two points from known constants and re-fit them.
+	t1 := ThroughputGbps(4096, 1.76, L0Ns, LmNs, 1e9)
+	t2 := ThroughputGbps(4096, 3.10, L0Ns, LmNs, 1e9)
+	l0, lm, ok := FitL0Lm(4096, 1.76, t1, 3.10, t2)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(l0-L0Ns) > 0.01 || math.Abs(lm-LmNs) > 0.01 {
+		t.Fatalf("fit = (%.2f, %.2f), want (65, 197)", l0, lm)
+	}
+}
+
+func TestFitDegenerateCases(t *testing.T) {
+	if _, _, ok := FitL0Lm(4096, 1, 10, 1, 20); ok {
+		t.Fatal("fit with equal M accepted")
+	}
+	if _, _, ok := FitL0Lm(4096, 1, 0, 2, 20); ok {
+		t.Fatal("fit with zero throughput accepted")
+	}
+}
+
+func TestPropertyFitRoundtrip(t *testing.T) {
+	f := func(m1q, m2q uint8) bool {
+		m1 := 0.5 + float64(m1q)/32
+		m2 := m1 + 0.5 + float64(m2q)/32
+		t1 := ThroughputGbps(4096, m1, L0Ns, LmNs, 1e9)
+		t2 := ThroughputGbps(4096, m2, L0Ns, LmNs, 1e9)
+		l0, lm, ok := FitL0Lm(4096, m1, t1, m2, t2)
+		return ok && math.Abs(l0-L0Ns) < 0.1 && math.Abs(lm-LmNs) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %v, want 0.1", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %v, want 0.1", got)
+	}
+	if RelativeError(5, 0) != 0 {
+		t.Fatal("zero measured should yield 0")
+	}
+}
+
+func TestMonotonicInReads(t *testing.T) {
+	prev := math.Inf(1)
+	for m := 0.0; m < 10; m += 0.5 {
+		cur := ThroughputGbps(4096, m, L0Ns, LmNs, 100)
+		if cur > prev {
+			t.Fatalf("throughput not monotonically decreasing at M=%v", m)
+		}
+		prev = cur
+	}
+}

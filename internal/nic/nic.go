@@ -1,0 +1,418 @@
+// Package nic models the network interface card: per-core Rx descriptor
+// rings with multi-page descriptors (64 pages on Mellanox CX-5), a finite
+// input buffer with tail drop and DCTCP-style ECN marking, the Rx DMA
+// engine that splits packets into PCIe transactions and translates each
+// through the IOMMU, and the Tx DMA engine that reads packets (and ACKs)
+// out of host memory.
+//
+// The NIC owns the Rx descriptor lifecycle (§2.1 steps 1–4): it consumes
+// descriptor page slots as packets arrive, and when a descriptor's pages
+// are exhausted and its DMAs complete it schedules the driver work —
+// unmap + invalidate + replenish — on the owning core via the host's CPU
+// executor.
+package nic
+
+import (
+	"fmt"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/pcie"
+	"fastsafe/internal/ptable"
+	"fastsafe/internal/sim"
+)
+
+// Executor schedules driver work on a core: work runs when the core frees
+// up and returns the CPU time it consumed; done (optional) fires once that
+// time has elapsed.
+type Executor interface {
+	Do(cpu int, work func() sim.Duration, done func())
+}
+
+// Packet is one wire packet. Payload is opaque to the NIC.
+type Packet struct {
+	CPU     int // target core / ring (aRFS steering)
+	Bytes   int
+	ECN     bool // marked congestion-experienced
+	Payload any
+}
+
+// Config sizes the NIC.
+type Config struct {
+	Cores       int
+	MTU         int // max packet payload (default 4096)
+	RingPackets int // Rx ring capacity in MTU-sized frames per core (default 256)
+	BufferBytes int // shared input buffer (default 2MB)
+	ECNKBytes   int // mark threshold; <0 disables marking (default 100KB).
+	// Real NICs do not ECN-mark on host-side congestion — the host sets
+	// this negative and relies on switch marking; PCIe backpressure is
+	// invisible to DCTCP and surfaces as tail drops (the host-congestion
+	// observation of [1, 2]).
+	MPS         int // PCIe max payload size per transaction (default 512)
+	HeaderBytes int // per-frame link+transport header overhead (default 66)
+	StrideAlign int // frame placement alignment within a descriptor (default 256)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.MTU <= 0 {
+		c.MTU = 4096
+	}
+	if c.RingPackets <= 0 {
+		c.RingPackets = 256
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 2 << 20
+	}
+	if c.ECNKBytes == 0 {
+		c.ECNKBytes = 100 << 10
+	}
+	if c.MPS <= 0 {
+		c.MPS = 512
+	}
+	if c.HeaderBytes <= 0 {
+		c.HeaderBytes = 66
+	}
+	if c.StrideAlign <= 0 {
+		c.StrideAlign = 256
+	}
+	return c
+}
+
+// Stats counts NIC-level events.
+type Stats struct {
+	Arrived      int64
+	ArrivedBytes int64
+	Dropped      int64
+	DroppedBytes int64
+	Marked       int64
+	RxDMAs       int64
+	RxBytes      int64
+	TxDMAs       int64
+	TxBytes      int64
+	RingStalls   int64 // arrivals that found no descriptor slot free
+}
+
+// ring is one core's Rx descriptor ring. Frames are packed
+// byte-contiguously into a descriptor's pages (Mellanox multi-packet RQ):
+// a frame may span a page boundary and consecutive frames share pages,
+// which is why IOTLB misses per page sit between 1 and 2 and grow with
+// interference (§2.2).
+type ring struct {
+	cpu      int
+	avail    []*core.Descriptor
+	cur      *core.Descriptor
+	curByte  int                      // next free byte in the current descriptor
+	pending  map[*core.Descriptor]int // outstanding DMAs per descriptor
+	done     map[*core.Descriptor]bool
+	queue    []Packet // packets waiting for DMA on this ring
+	ringIOVA ptable.IOVA
+}
+
+// NIC is the device model.
+type NIC struct {
+	eng  *sim.Engine
+	cfg  Config
+	dom  *core.Domain
+	rx   *pcie.Link
+	tx   *pcie.Link
+	exec Executor
+
+	rings       []*ring
+	bufferBytes int
+	nextRing    int // round-robin pump cursor
+
+	txQueue []txEntry
+
+	// OnDeliver fires when a packet's DMA into memory completes; the host
+	// then charges per-packet stack work to the core.
+	OnDeliver func(pkt Packet)
+	// OnTxDone fires when a Tx DMA read completes (the packet is on the
+	// wire); the host unmaps the Tx mapping.
+	OnTxDone func(pkt Packet, m *core.TxMapping)
+	// OnDrop fires when the input buffer tail-drops a packet.
+	OnDrop func(pkt Packet)
+
+	stats     Stats
+	rxPumping bool
+	txPumping bool
+}
+
+type txEntry struct {
+	pkt Packet
+	m   *core.TxMapping
+}
+
+// New wires a NIC to its PCIe links, protection domain and CPU executor.
+func New(eng *sim.Engine, cfg Config, dom *core.Domain, rx, tx *pcie.Link, exec Executor) (*NIC, error) {
+	cfg = cfg.withDefaults()
+	n := &NIC{eng: eng, cfg: cfg, dom: dom, rx: rx, tx: tx, exec: exec}
+	descPages := dom.DescriptorPages()
+	descBytes := descPages * ptable.PageSize
+	frame := cfg.MTU + cfg.HeaderBytes
+	if frame > descBytes {
+		return nil, fmt.Errorf("nic: MTU %d larger than a descriptor", cfg.MTU)
+	}
+	framesPerDesc := descBytes / frame
+	// The NIC is given twice the ring's worth of pages (the paper's
+	// footnote 2 observes this factor of two in practice).
+	numDesc := 2 * ((cfg.RingPackets + framesPerDesc - 1) / framesPerDesc)
+	for c := 0; c < cfg.Cores; c++ {
+		r := &ring{cpu: c, pending: map[*core.Descriptor]int{}, done: map[*core.Descriptor]bool{}}
+		// The ring table itself is coherent DMA memory, mapped once.
+		iovas, err := dom.MapPersistentPages(c, 1)
+		if err != nil {
+			return nil, err
+		}
+		r.ringIOVA = iovas[0]
+		for d := 0; d < numDesc; d++ {
+			desc, _, err := dom.MapRxDescriptor(c)
+			if err != nil {
+				return nil, err
+			}
+			r.avail = append(r.avail, desc)
+		}
+		n.rings = append(n.rings, r)
+	}
+	return n, nil
+}
+
+// Stats returns NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// BufferOccupancy returns the current input-buffer fill in bytes.
+func (n *NIC) BufferOccupancy() int { return n.bufferBytes }
+
+// frameBytes returns the DMA size of a packet: payload plus headers.
+func (n *NIC) frameBytes(pkt Packet) int { return pkt.Bytes + n.cfg.HeaderBytes }
+
+// align rounds b up to the frame placement alignment.
+func (n *NIC) align(b int) int {
+	a := n.cfg.StrideAlign
+	return (b + a - 1) / a * a
+}
+
+// Arrive delivers a wire packet into the NIC input buffer (§2.1 step 2).
+// It applies ECN marking above the K threshold and tail-drops when the
+// buffer is full.
+func (n *NIC) Arrive(pkt Packet) {
+	n.stats.Arrived++
+	n.stats.ArrivedBytes += int64(pkt.Bytes)
+	if n.bufferBytes+pkt.Bytes > n.cfg.BufferBytes {
+		n.stats.Dropped++
+		n.stats.DroppedBytes += int64(pkt.Bytes)
+		if n.OnDrop != nil {
+			n.OnDrop(pkt)
+		}
+		return
+	}
+	if n.cfg.ECNKBytes > 0 && n.bufferBytes > n.cfg.ECNKBytes {
+		pkt.ECN = true
+		n.stats.Marked++
+	}
+	n.bufferBytes += pkt.Bytes
+	r := n.rings[pkt.CPU%len(n.rings)]
+	r.queue = append(r.queue, pkt)
+	n.pumpRx()
+}
+
+// pumpRx starts the next Rx DMA if the PCIe link is free and some ring has
+// both a queued packet and descriptor pages available.
+func (n *NIC) pumpRx() {
+	if n.rxPumping {
+		return
+	}
+	n.rxPumping = true
+	defer func() { n.rxPumping = false }()
+
+	// Keep a few DMAs in flight: the root complex pipelines translations
+	// of queued transactions, so translation streams from different rings
+	// interleave at PCIe-transaction granularity — this is what lets
+	// concurrent DMAs contend for the IOTLB and PTcaches (§2.2).
+	for n.rx.Outstanding() < rxPipeline {
+		type pending struct {
+			r     *ring
+			pkt   Packet
+			desc  *core.Descriptor
+			start int // byte offset within the descriptor
+		}
+		var batch []pending
+		for n.rx.Outstanding()+len(batch) < rxPipeline {
+			r := n.pickRing()
+			if r == nil {
+				break
+			}
+			pkt := r.queue[0]
+			r.queue = r.queue[1:]
+			desc := r.cur
+			start := n.align(r.curByte)
+			r.curByte = start + n.frameBytes(pkt)
+			r.pending[desc]++
+			batch = append(batch, pending{r, pkt, desc, start})
+		}
+		if len(batch) == 0 {
+			return
+		}
+		// Translate the batch's transactions round-robin, the way they
+		// interleave on the wire, then submit each DMA.
+		reads := make([]int, len(batch))
+		if n.dom.Mode().Translated() {
+			for t := 0; ; t++ {
+				progress := false
+				for i, p := range batch {
+					off := t * n.cfg.MPS
+					if off >= n.frameBytes(p.pkt) {
+						continue
+					}
+					progress = true
+					b := p.start + off
+					page := b / ptable.PageSize
+					v := p.desc.IOVAs[page] + ptable.IOVA(b%ptable.PageSize)
+					tr := n.dom.Translate(v)
+					reads[i] += tr.MemReads
+				}
+				if !progress {
+					break
+				}
+			}
+		}
+		for i, p := range batch {
+			n.submitRxDMA(p.r, p.pkt, p.desc, reads[i])
+		}
+	}
+}
+
+// rxPipeline bounds in-flight Rx DMAs (about 100 cachelines of RC-side
+// buffering, i.e. roughly two 4KB packets, plus headroom for small ones).
+const rxPipeline = 4
+
+// pickRing round-robins over rings that can make progress.
+func (n *NIC) pickRing() *ring {
+	for i := 0; i < len(n.rings); i++ {
+		r := n.rings[(n.nextRing+i)%len(n.rings)]
+		if len(r.queue) == 0 {
+			continue
+		}
+		if !n.ensureDescriptor(r) {
+			n.stats.RingStalls++
+			continue
+		}
+		n.nextRing = (n.nextRing + i + 1) % len(n.rings)
+		return r
+	}
+	return nil
+}
+
+// ensureDescriptor makes r.cur usable, fetching the next descriptor from
+// the available list when the current one is exhausted. Fetching a
+// descriptor costs one translated read of the ring page.
+func (n *NIC) ensureDescriptor(r *ring) bool {
+	// A descriptor is usable only if a maximum-size frame fits after the
+	// current fill point; the partial tail is wasted, as on real hardware.
+	if r.cur != nil && n.align(r.curByte)+n.cfg.MTU+n.cfg.HeaderBytes <= len(r.cur.IOVAs)*ptable.PageSize {
+		return true
+	}
+	if len(r.avail) == 0 {
+		return false
+	}
+	r.cur = r.avail[0]
+	r.avail = r.avail[1:]
+	r.curByte = 0
+	if n.dom.Mode().Translated() {
+		n.dom.Translate(r.ringIOVA) // descriptor fetch
+	}
+	return true
+}
+
+// submitRxDMA submits one translated stride DMA (slot accounting was done
+// when the batch claimed the stride).
+func (n *NIC) submitRxDMA(r *ring, pkt Packet, desc *core.Descriptor, reads int) {
+	n.stats.RxDMAs++
+	n.stats.RxBytes += int64(pkt.Bytes)
+	n.rx.Submit(pkt.Bytes, reads, func() {
+		n.bufferBytes -= pkt.Bytes
+		r.pending[desc]--
+		n.maybeRecycle(r, desc)
+		if n.OnDeliver != nil {
+			n.OnDeliver(pkt)
+		}
+		n.pumpRx()
+	})
+}
+
+// maybeRecycle retires a fully-consumed, fully-DMAed descriptor: the
+// driver unmaps it (strict safety: the NIC loses access now) and maps a
+// fresh descriptor, all as CPU work on the owning core.
+func (n *NIC) maybeRecycle(r *ring, desc *core.Descriptor) {
+	if desc == r.cur && n.align(r.curByte)+n.cfg.MTU+n.cfg.HeaderBytes <= len(desc.IOVAs)*ptable.PageSize {
+		return // still being filled
+	}
+	if r.pending[desc] != 0 || r.done[desc] {
+		return
+	}
+	r.done[desc] = true
+	if r.cur == desc {
+		r.cur = nil
+		r.curByte = 0
+	}
+	n.exec.Do(r.cpu, func() sim.Duration {
+		unmapCost, err := n.dom.UnmapRxDescriptor(desc)
+		if err != nil {
+			panic(fmt.Sprintf("nic: unmap descriptor: %v", err))
+		}
+		fresh, mapCost, err := n.dom.MapRxDescriptor(r.cpu)
+		if err != nil {
+			panic(fmt.Sprintf("nic: replenish descriptor: %v", err))
+		}
+		delete(r.pending, desc)
+		delete(r.done, desc)
+		r.avail = append(r.avail, fresh)
+		return unmapCost + mapCost
+	}, func() {
+		n.pumpRx()
+	})
+}
+
+// SendTx enqueues a Tx DMA: the NIC reads the packet out of host memory
+// through m's IOVAs. The host must have charged MapTx CPU cost already.
+func (n *NIC) SendTx(pkt Packet, m *core.TxMapping) {
+	n.txQueue = append(n.txQueue, txEntry{pkt, m})
+	n.pumpTx()
+}
+
+func (n *NIC) pumpTx() {
+	if n.txPumping {
+		return
+	}
+	n.txPumping = true
+	defer func() { n.txPumping = false }()
+
+	for !n.tx.Busy() && len(n.txQueue) > 0 {
+		e := n.txQueue[0]
+		n.txQueue = n.txQueue[1:]
+		reads := 0
+		if n.dom.Mode().Translated() && e.m != nil {
+			for off := 0; off < e.pkt.Bytes+n.cfg.HeaderBytes; off += n.cfg.MPS {
+				page := off / ptable.PageSize
+				if page >= len(e.m.IOVAs) {
+					page = len(e.m.IOVAs) - 1
+				}
+				v := e.m.IOVAs[page] + ptable.IOVA(off%ptable.PageSize)
+				tr := n.dom.Translate(v)
+				reads += tr.MemReads
+			}
+		}
+		n.stats.TxDMAs++
+		n.stats.TxBytes += int64(e.pkt.Bytes)
+		n.tx.Submit(e.pkt.Bytes, reads, func() {
+			if n.OnTxDone != nil {
+				n.OnTxDone(e.pkt, e.m)
+			}
+			n.pumpTx()
+		})
+	}
+}
+
+// TxQueueLen reports packets waiting for a Tx DMA slot.
+func (n *NIC) TxQueueLen() int { return len(n.txQueue) }

@@ -1,0 +1,150 @@
+package pcie
+
+import (
+	"testing"
+
+	"fastsafe/internal/sim"
+)
+
+func TestServiceTimeSerializationFloor(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	// 4KB with no reads: 4096*8/128 = 256ns > 65ns.
+	if got := l.ServiceTime(4096, 0); got != 256 {
+		t.Fatalf("ServiceTime = %v, want 256", got)
+	}
+}
+
+func TestServiceTimeTranslationDominates(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	// 65 + 2*197 = 459 > 256.
+	if got := l.ServiceTime(4096, 2); got != 459 {
+		t.Fatalf("ServiceTime = %v, want 459", got)
+	}
+}
+
+func TestSubmitCompletesAfterService(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	var doneAt sim.Time = -1
+	l.Submit(4096, 0, func() { doneAt = e.Now() })
+	e.RunAll()
+	if doneAt != 256 {
+		t.Fatalf("completed at %v, want 256", doneAt)
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	var order []int
+	l.Submit(4096, 0, func() { order = append(order, 1) }) // 256ns
+	l.Submit(4096, 0, func() { order = append(order, 2) }) // 256ns more
+	if !l.Busy() {
+		t.Fatal("link should be busy")
+	}
+	e.RunAll()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 512 {
+		t.Fatalf("second completion at %v, want 512", e.Now())
+	}
+	s := l.Stats()
+	if s.DMAs != 2 || s.Bytes != 8192 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.QueueTime != 256 {
+		t.Fatalf("QueueTime = %v, want 256", s.QueueTime)
+	}
+}
+
+func TestThroughputMatchesModel(t *testing.T) {
+	// Back-to-back 4KB DMAs with 1.76 avg reads: the paper's ~79.5Gbps.
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	n := 1000
+	for i := 0; i < n; i++ {
+		reads := 1
+		if i%100 < 76 {
+			reads = 2
+		}
+		l.Submit(4096, reads, func() {})
+	}
+	e.RunAll()
+	gbps := float64(n*4096*8) / float64(e.Now())
+	if gbps < 77 || gbps > 82 {
+		t.Fatalf("throughput = %.1f Gbps, want ~79.5", gbps)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	l.Submit(4096, 0, func() {})
+	e.RunAll()
+	// Engine time equals busy time here.
+	if u := l.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %v, want ~1", u)
+	}
+}
+
+func TestOutstandingTracksQueue(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	l.Submit(4096, 0, func() {})
+	l.Submit(64, 0, func() {})
+	if l.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d, want 2", l.Outstanding())
+	}
+	e.RunAll()
+	if l.Outstanding() != 0 || l.Busy() {
+		t.Fatal("link did not drain")
+	}
+	// Small DMA: 65ns base dominates 4ns serialisation.
+	if e.Now() != 256+65 {
+		t.Fatalf("drained at %v, want 321", e.Now())
+	}
+}
+
+func TestSharedWalkerCouplesDirections(t *testing.T) {
+	// Two links sharing a walker: the second link's translation waits for
+	// the first link's reads.
+	e := sim.NewEngine(1)
+	rx := New(e, 65, 197, 128)
+	tx := New(e, 65, 197, 128)
+	w := NewWalkerN(e, 197, 1)
+	rx.AttachWalker(w)
+	tx.AttachWalker(w)
+	var rxDone, txDone sim.Time
+	rx.Submit(4096, 4, func() { rxDone = e.Now() }) // walker: 4*197 = 788
+	tx.Submit(64, 1, func() { txDone = e.Now() })   // queued behind: +197
+	e.RunAll()
+	if rxDone != 65+788 {
+		t.Fatalf("rx done at %v, want 853", rxDone)
+	}
+	// tx translation completes at 788+197 = 985, plus its l0 = 65.
+	if txDone != 985+65 {
+		t.Fatalf("tx done at %v, want 1050 (walker contention)", txDone)
+	}
+	if w.Reads() != 5 {
+		t.Fatalf("walker reads = %d, want 5", w.Reads())
+	}
+}
+
+func TestPrivateWalkersIndependent(t *testing.T) {
+	e := sim.NewEngine(1)
+	rx := New(e, 65, 197, 128)
+	tx := New(e, 65, 197, 128)
+	var rxDone, txDone sim.Time
+	rx.Submit(4096, 4, func() { rxDone = e.Now() })
+	tx.Submit(64, 1, func() { txDone = e.Now() })
+	e.RunAll()
+	if rxDone != 65+788 {
+		t.Fatalf("rx done at %v, want 853", rxDone)
+	}
+	if txDone != 65+197 {
+		t.Fatalf("tx done at %v, want 262 (no contention)", txDone)
+	}
+}

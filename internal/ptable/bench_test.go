@@ -1,0 +1,46 @@
+package ptable
+
+import "testing"
+
+func BenchmarkMapUnmapPage(b *testing.B) {
+	t := New()
+	for i := 0; i < b.N; i++ {
+		if err := t.Map(0x1000, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.Unmap(0x1000, PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	t := New()
+	if err := t.Map(0x1000, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Lookup(0x1000); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkUnmapDescriptorRange(b *testing.B) {
+	// The F&S pattern: one ranged unmap per 64-page descriptor.
+	t := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for p := 0; p < 64; p++ {
+			if err := t.Map(IOVA(p*PageSize), Phys(p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := t.Unmap(0, 64*PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package ptable
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMapHugeLookup(t *testing.T) {
+	tb := New()
+	if err := tb.MapHuge(0, 0x40000000); err != nil {
+		t.Fatal(err)
+	}
+	// Any address inside the 2MB span translates with the right offset.
+	w, huge, ok := tb.LookupHugeAware(IOVA(5*PageSize + 123))
+	if !ok || !huge {
+		t.Fatalf("lookup = huge=%v ok=%v", huge, ok)
+	}
+	if w.Phys != 0x40000000+5*PageSize+123 {
+		t.Fatalf("Phys = %#x", uint64(w.Phys))
+	}
+	if w.PageID[3] != 0 {
+		t.Fatal("huge walk should have no PT-L4 page")
+	}
+	if !tb.HugeMapped(PageSize) {
+		t.Fatal("HugeMapped false inside span")
+	}
+	// Mappings accounting: 512 pages worth.
+	if tb.Mappings() != EntriesPerPage {
+		t.Fatalf("Mappings = %d, want 512", tb.Mappings())
+	}
+}
+
+func TestMapHugeValidation(t *testing.T) {
+	tb := New()
+	if err := tb.MapHuge(PageSize, 1); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("unaligned huge map err = %v", err)
+	}
+	if err := tb.MapHuge(IOVA(AddrSpace), 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range err = %v", err)
+	}
+	if err := tb.MapHuge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MapHuge(0, 2); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("double huge map err = %v", err)
+	}
+}
+
+func TestHuge4KOverlapRejected(t *testing.T) {
+	tb := New()
+	if err := tb.Map(0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Huge mapping over a span with 4KB mappings must fail.
+	if err := tb.MapHuge(0, 2); !errors.Is(err, ErrHugeOverlap) {
+		t.Fatalf("huge-over-4K err = %v", err)
+	}
+	// And the reverse: 4KB map inside a live huge span must fail.
+	if err := tb.MapHuge(IOVA(HugeSize), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(IOVA(HugeSize+PageSize), 1); !errors.Is(err, ErrHugeOverlap) {
+		t.Fatalf("4K-inside-huge err = %v", err)
+	}
+}
+
+func TestUnmapHuge(t *testing.T) {
+	tb := New()
+	if err := tb.MapHuge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.UnmapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	if tb.HugeMapped(0) || tb.Mappings() != 0 {
+		t.Fatal("huge mapping survived unmap")
+	}
+	if err := tb.UnmapHuge(0); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("double unmap err = %v", err)
+	}
+	// Remap works after unmap.
+	if err := tb.MapHuge(0, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmapHugeRejectsNonHuge(t *testing.T) {
+	tb := New()
+	if err := tb.Map(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.UnmapHuge(0); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("UnmapHuge over 4K mapping err = %v", err)
+	}
+}
+
+func TestLookupHugeAware4K(t *testing.T) {
+	tb := New()
+	if err := tb.Map(0x3000, 0x99000); err != nil {
+		t.Fatal(err)
+	}
+	w, huge, ok := tb.LookupHugeAware(0x3000)
+	if !ok || huge {
+		t.Fatalf("4K lookup: huge=%v ok=%v", huge, ok)
+	}
+	if w.Phys != 0x99000 || w.PageID[3] == 0 {
+		t.Fatalf("walk = %+v", w)
+	}
+}
+
+func TestHugeAndRegularCoexist(t *testing.T) {
+	tb := New()
+	if err := tb.MapHuge(0, 0x100000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(IOVA(HugeSize), 0x55000); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.HugeMapped(0x1000) {
+		t.Fatal("huge span lost")
+	}
+	if _, huge, ok := tb.LookupHugeAware(IOVA(HugeSize)); !ok || huge {
+		t.Fatal("4K neighbour broken")
+	}
+}

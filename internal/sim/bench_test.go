@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%1000), func() {})
+		if e.Pending() > 1024 {
+			e.Run(e.Now() + 1000)
+		}
+	}
+	e.RunAll()
+}
+
+func BenchmarkNestedEvents(b *testing.B) {
+	e := NewEngine(1)
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			e.After(10, fire)
+		}
+	}
+	e.After(10, fire)
+	b.ResetTimer()
+	e.RunAll()
+}

@@ -1,0 +1,176 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock in nanoseconds and a priority queue
+// of scheduled events. Events that share a timestamp fire in the order they
+// were scheduled, which makes every simulation in this repository fully
+// deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	// Fired counts events executed; useful for run-away detection in tests.
+	fired uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the caller; the engine clamps it to "now" to keep time monotonic.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Step executes the next pending event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the clock passes deadline.
+// Events scheduled exactly at the deadline still fire.
+func (e *Engine) Run(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunAll executes events until none remain. Use only in tests with bounded
+// event graphs.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}

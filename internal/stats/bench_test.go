@@ -1,0 +1,28 @@
+package stats
+
+import "testing"
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i%100000 + 1))
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Observe(int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.999)
+	}
+}
+
+func BenchmarkReuseDistanceTightLoop(b *testing.B) {
+	r := NewReuseDistance()
+	for i := 0; i < b.N; i++ {
+		r.Access(uint64(i % 64))
+	}
+}

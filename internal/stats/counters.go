@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n int64 }
+
+// Add increments the counter by d (d may be zero; negative deltas are
+// programming errors and panic to surface them early).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("stats: negative Counter delta")
+	}
+	c.n += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Set is a named collection of counters, the simulator's analogue of the
+// PCM hardware counters the paper reads. Names are created on first use.
+type Set struct {
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]*Counter)} }
+
+// C returns the counter with the given name, creating it if needed.
+func (s *Set) C(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Value returns the value of the named counter (0 if never touched).
+func (s *Set) Value(name string) int64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns all counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counter values.
+func (s *Set) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for n, c := range s.counters {
+		out[n] = c.Value()
+	}
+	return out
+}
+
+// Reset zeroes every counter, keeping the names registered.
+func (s *Set) Reset() {
+	for _, c := range s.counters {
+		c.Reset()
+	}
+}
+
+func (s *Set) String() string {
+	var b strings.Builder
+	for i, n := range s.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, s.counters[n].Value())
+	}
+	return b.String()
+}
+
+// Ratio returns a/b as float64, or 0 when b is 0. It is the helper used to
+// normalise miss counters "per page worth of data" the way the paper does.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Gbps converts a byte count over a duration in nanoseconds into gigabits
+// per second (decimal gigabits, as in "100Gbps NIC").
+func Gbps(bytes int64, ns int64) float64 {
+	if ns == 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / float64(ns)
+}

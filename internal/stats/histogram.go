@@ -1,0 +1,154 @@
+// Package stats provides the measurement primitives used across the
+// simulator: counters, latency histograms with percentile queries, and the
+// stack-distance (reuse-distance) calculator used to reproduce the IOVA
+// locality plots (Figures 2e, 3e, 7e, 8e of the paper).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram records int64 samples (typically latencies in nanoseconds) in
+// logarithmically-spaced buckets with bounded relative error, similar in
+// spirit to HDR histograms. The zero value is ready to use.
+type Histogram struct {
+	buckets map[int64]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// subBuckets controls relative precision: each power-of-two range is split
+// into this many linear sub-buckets, bounding relative error to ~1/subBuckets.
+const subBuckets = 64
+
+// bucketKey maps a value to its bucket's lower bound.
+func bucketKey(v int64) int64 {
+	if v < subBuckets {
+		return v
+	}
+	// Find the highest set bit.
+	shift := 63 - leadingZeros(uint64(v))
+	// Keep the top log2(subBuckets)+1 bits.
+	drop := shift - 6 // log2(64) = 6
+	if drop <= 0 {
+		return v
+	}
+	return (v >> drop) << drop
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int64]int64)
+		h.min = math.MaxInt64
+	}
+	h.buckets[bucketKey(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample, or 0 with no samples.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1). The estimate
+// is the lower bound of the bucket containing the quantile, so the relative
+// error is bounded by the bucket width (~1.6%).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	keys := make([]int64, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	rank := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for _, k := range keys {
+		cum += h.buckets[k]
+		if cum >= rank {
+			return k
+		}
+	}
+	return h.max
+}
+
+// Percentiles returns the standard tail-latency percentiles used in the
+// paper's Figure 9: P50, P90, P99, P99.9, P99.99.
+func (h *Histogram) Percentiles() [5]int64 {
+	return [5]int64{
+		h.Quantile(0.50),
+		h.Quantile(0.90),
+		h.Quantile(0.99),
+		h.Quantile(0.999),
+		h.Quantile(0.9999),
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.buckets = nil
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+func (h *Histogram) String() string {
+	p := h.Percentiles()
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p90=%d p99=%d p999=%d p9999=%d max=%d",
+		h.count, h.Mean(), p[0], p[1], p[2], p[3], p[4], h.max)
+}

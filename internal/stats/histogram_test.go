@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(42)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("Min/Max = %d/%d, want 42/42", h.Min(), h.Max())
+	}
+	if h.Mean() != 42 {
+		t.Fatalf("Mean = %v, want 42", h.Mean())
+	}
+	if got := h.Quantile(0.5); got != 42 {
+		t.Fatalf("Quantile(0.5) = %d, want 42", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative sample should clamp to 0, got min %d", h.Min())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	samples := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1_000_000)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		// Bucketed estimate must be within ~3.2% relative error of exact.
+		lo := float64(exact) * 0.968
+		hi := float64(exact) * 1.032
+		if float64(got) < lo-64 || float64(got) > hi+64 {
+			t.Errorf("Quantile(%v) = %d, exact %d (out of tolerance)", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %d, want min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("Quantile(1) = %d, want max 100", got)
+	}
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %d, want min", got)
+	}
+	if got := h.Quantile(2); got != 100 {
+		t.Fatalf("Quantile(2) = %d, want max", got)
+	}
+}
+
+func TestHistogramPercentilesMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Observe(rng.Int63n(100000))
+	}
+	p := h.Percentiles()
+	for i := 1; i < len(p); i++ {
+		if p[i] < p[i-1] {
+			t.Fatalf("percentiles not monotonic: %v", p)
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+	h.Observe(7)
+	if h.Min() != 7 {
+		t.Fatalf("Min after reset+observe = %d, want 7", h.Min())
+	}
+}
+
+func TestBucketKeySmallValuesExact(t *testing.T) {
+	for v := int64(0); v < subBuckets; v++ {
+		if bucketKey(v) != v {
+			t.Fatalf("bucketKey(%d) = %d, want exact", v, bucketKey(v))
+		}
+	}
+}
+
+func TestPropertyBucketKeyBounds(t *testing.T) {
+	// Bucket lower bound never exceeds the value and is within ~1/64 of it.
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		k := bucketKey(v)
+		if k > v {
+			return false
+		}
+		return float64(v-k) <= float64(v)/32+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	if s := h.String(); s == "" {
+		t.Fatal("String() returned empty")
+	}
+}
