@@ -1,0 +1,37 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml — `make ci`
+# runs the same gate locally.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; fmt-check fails (like CI) when anything needs formatting.
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile and run every benchmark exactly once so they cannot bit-rot;
+# use `go test -bench=. -benchmem ./...` for real measurements.
+bench:
+	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+
+ci: build vet fmt-check test race bench

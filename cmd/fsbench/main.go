@@ -6,24 +6,28 @@
 //	fsbench -fig fig7        # regenerate one figure
 //	fsbench -fig all         # regenerate everything (a few minutes)
 //	fsbench -fig fig2 -quick # shorter windows, noisier numbers
+//	fsbench -fig all -parallel 4   # bound the worker pool
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
 
 	"fastsafe/internal/experiments"
+	"fastsafe/internal/runner"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure id to regenerate, or 'all'")
 	quick := flag.Bool("quick", false, "use short measurement windows")
 	list := flag.Bool("list", false, "list available figure ids")
-	jobs := flag.Int("j", runtime.NumCPU(), "figures to regenerate concurrently (with -fig all)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
+	flag.IntVar(parallel, "j", runtime.NumCPU(), "alias for -parallel")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	progress := flag.Bool("progress", true, "report per-figure progress on stderr (with -fig all)")
 	flag.Parse()
 
 	render := func(t experiments.Table) string {
@@ -44,31 +48,33 @@ func main() {
 	if *quick {
 		opts = experiments.Quick()
 	}
+	opts.Parallel = *parallel
 
 	if *fig == "all" {
-		// Each figure is an independent deterministic simulation; run them
-		// concurrently and print in order.
+		// Each figure is an independent deterministic computation; fan the
+		// figures themselves across the pool (each additionally fans out
+		// its own simulation cells) and print in presentation order.
 		ids := experiments.IDs()
-		tables := make([]experiments.Table, len(ids))
-		errs := make([]error, len(ids))
-		sem := make(chan struct{}, max(1, *jobs))
-		var wg sync.WaitGroup
+		jobs := make([]runner.Job[experiments.Table], len(ids))
 		for i, id := range ids {
-			wg.Add(1)
-			go func(i int, id string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				tables[i], errs[i] = experiments.ByID(id, opts)
-			}(i, id)
+			id := id
+			jobs[i] = func(context.Context) (experiments.Table, error) {
+				return experiments.ByID(id, opts)
+			}
 		}
-		wg.Wait()
-		for i := range ids {
-			if errs[i] != nil {
-				fmt.Fprintln(os.Stderr, errs[i])
+		cfg := runner.Config{Workers: *parallel}
+		if *progress {
+			cfg.OnProgress = func(p runner.Progress) {
+				fmt.Fprintf(os.Stderr, "fsbench: %s done (%d/%d)\n", ids[p.Index], p.Done, p.Total)
+			}
+		}
+		tables := runner.All(context.Background(), cfg, jobs)
+		for i, r := range tables {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "fsbench: %s: %v\n", ids[i], r.Err)
 				os.Exit(1)
 			}
-			fmt.Println(render(tables[i]))
+			fmt.Println(render(r.Value))
 		}
 		return
 	}

@@ -1,18 +1,26 @@
-// Command fssim runs one ad-hoc host simulation and prints its measured
+// Command fssim runs ad-hoc host simulations and prints their measured
 // results, for exploring configurations outside the paper's sweeps.
 //
 // Example:
 //
 //	fssim -mode fns -flows 20 -ring 512 -mtu 4096 -cores 5 -ms 40
+//	fssim -mode strict -seeds 8 -parallel 4   # seed study, 4 workers
+//
+// With -seeds N > 1 the same configuration is run under N consecutive
+// seeds (starting at -seed), fanned across -parallel workers; results
+// print in seed order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"fastsafe/internal/core"
 	"fastsafe/internal/host"
+	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
 )
 
@@ -26,7 +34,9 @@ func main() {
 	descPages := flag.Int("desc", 64, "pages per Rx descriptor")
 	ms := flag.Int("ms", 30, "measurement window, milliseconds")
 	warmup := flag.Int("warmup", 10, "warmup window, milliseconds")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "simulation seed (first seed with -seeds)")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
 	trace := flag.Bool("trace", false, "summarise the PTcache-L3 locality trace")
 	memhog := flag.Float64("memhog", 0, "co-tenant memory antagonist, GB/s")
 	storage := flag.Float64("storage", 0, "co-tenant storage device read rate, GB/s")
@@ -37,35 +47,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	h, err := host.New(host.Config{
-		Mode:            m,
-		Cores:           *cores,
-		RxFlows:         *flows,
-		TxFlows:         *txflows,
-		RingPackets:     *ring,
-		MTU:             *mtu,
-		DescriptorPages: *descPages,
-		Seed:            *seed,
-		MemHogGBps:      *memhog,
-		TraceL3:         *trace,
-		TraceLimit:      200000,
-	})
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "fssim: -seeds must be >= 1")
+		os.Exit(2)
+	}
+
+	runSeed := func(s int64) (host.Results, error) {
+		h, err := host.New(host.Config{
+			Mode:            m,
+			Cores:           *cores,
+			RxFlows:         *flows,
+			TxFlows:         *txflows,
+			RingPackets:     *ring,
+			MTU:             *mtu,
+			DescriptorPages: *descPages,
+			Seed:            s,
+			MemHogGBps:      *memhog,
+			TraceL3:         *trace,
+			TraceLimit:      200000,
+		})
+		if err != nil {
+			return host.Results{}, err
+		}
+		if *storage > 0 {
+			h.InstallStorage(host.StorageConfig{ReadGBps: *storage})
+		}
+		return h.Run(sim.Duration(*warmup)*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond), nil
+	}
+
+	jobs := make([]runner.Job[host.Results], *seeds)
+	for i := 0; i < *seeds; i++ {
+		s := *seed + int64(i)
+		jobs[i] = func(context.Context) (host.Results, error) { return runSeed(s) }
+	}
+	results, err := runner.Collect(context.Background(), runner.Config{Workers: *parallel}, jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *storage > 0 {
-		h.InstallStorage(host.StorageConfig{ReadGBps: *storage})
-	}
-	r := h.Run(sim.Duration(*warmup)*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
-	fmt.Println(r)
-	fmt.Printf("per-core CPU utilisation: ")
-	for _, u := range r.CPUUtil {
-		fmt.Printf("%3.0f%% ", u*100)
-	}
-	fmt.Println()
-	if r.Trace != nil {
-		fmt.Printf("L3 locality: %d allocs, frac>=32 %.3f, frac>=64 %.3f, frac>=128 %.3f\n",
-			len(r.Trace.Dists), r.Trace.FractionAbove(32), r.Trace.FractionAbove(64), r.Trace.FractionAbove(128))
+
+	for i, r := range results {
+		if *seeds > 1 {
+			fmt.Printf("seed %d:\n", *seed+int64(i))
+		}
+		fmt.Println(r)
+		fmt.Printf("per-core CPU utilisation: ")
+		for _, u := range r.CPUUtil {
+			fmt.Printf("%3.0f%% ", u*100)
+		}
+		fmt.Println()
+		if r.Trace != nil {
+			fmt.Printf("L3 locality: %d allocs, frac>=32 %.3f, frac>=64 %.3f, frac>=128 %.3f\n",
+				len(r.Trace.Dists), r.Trace.FractionAbove(32), r.Trace.FractionAbove(64), r.Trace.FractionAbove(128))
+		}
 	}
 }

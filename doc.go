@@ -16,4 +16,10 @@
 // cmd/fsbench regenerates every figure in the paper's evaluation;
 // EXPERIMENTS.md records the paper-vs-simulated comparison. Start with
 // examples/quickstart.
+//
+// Simulations are deterministic and self-contained, so sweeps are
+// embarrassingly parallel: Simulate runs one configuration, Compare runs
+// one configuration under several modes concurrently, and Sweep fans any
+// configuration series across GOMAXPROCS workers (internal/runner) while
+// returning reports in job order.
 package fastsafe

@@ -5,10 +5,12 @@
 package fastsafe
 
 import (
+	"context"
 	"fmt"
 
 	"fastsafe/internal/core"
 	"fastsafe/internal/host"
+	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
 )
 
@@ -85,10 +87,10 @@ type Report struct {
 
 // Simulate runs one experiment and returns its report.
 func Simulate(o Options) (Report, error) {
-	m, err := core.ParseMode(string(o.Mode))
 	if o.Mode == "" {
-		m, err = core.Strict, nil
+		o.Mode = Strict
 	}
+	m, err := core.ParseMode(string(o.Mode))
 	if err != nil {
 		return Report{}, fmt.Errorf("fastsafe: %w", err)
 	}
@@ -131,19 +133,58 @@ func Simulate(o Options) (Report, error) {
 	}, nil
 }
 
-// Compare runs the same configuration under several modes.
+// Compare runs the same configuration under several modes, concurrently.
+// Reports are returned in the order the modes were given. With no modes it
+// compares Off, Strict and FNS.
 func Compare(o Options, modes ...Mode) ([]Report, error) {
+	return CompareContext(context.Background(), 0, o, modes...)
+}
+
+// CompareContext is Compare with cancellation and an explicit parallelism
+// bound (parallel <= 0 means GOMAXPROCS).
+func CompareContext(ctx context.Context, parallel int, o Options, modes ...Mode) ([]Report, error) {
 	if len(modes) == 0 {
 		modes = []Mode{Off, Strict, FNS}
 	}
-	out := make([]Report, 0, len(modes))
-	for _, m := range modes {
-		o.Mode = m
-		r, err := Simulate(o)
-		if err != nil {
-			return nil, err
+	return SweepContext(ctx, parallel, o, func(i int) Options {
+		v := o
+		v.Mode = modes[i]
+		return v
+	}, len(modes))
+}
+
+// Sweep runs n simulations concurrently across GOMAXPROCS workers and
+// returns their reports in job order (reports[i] is the run configured by
+// vary(i), independent of completion order). vary receives the job index
+// and returns that job's Options — typically a closure over base:
+//
+//	reports, err := fastsafe.Sweep(base, func(i int) fastsafe.Options {
+//		v := base
+//		v.Flows = flows[i]
+//		return v
+//	}, len(flows))
+//
+// A nil vary runs base n times unchanged (useful only with per-job edits
+// baked into base, e.g. seed studies via SweepContext wrappers). Every
+// simulation is deterministic and self-contained, so a parallel sweep
+// produces byte-identical Reports to running the same configurations
+// sequentially. The first failing job cancels the jobs not yet started
+// and its error is returned.
+func Sweep(base Options, vary func(i int) Options, n int) ([]Report, error) {
+	return SweepContext(context.Background(), 0, base, vary, n)
+}
+
+// SweepContext is Sweep with cancellation and an explicit parallelism
+// bound (parallel <= 0 means GOMAXPROCS). A job that panics fails the
+// sweep with a *runner.PanicError instead of crashing the process.
+func SweepContext(ctx context.Context, parallel int, base Options, vary func(i int) Options, n int) ([]Report, error) {
+	jobs := make([]runner.Job[Report], n)
+	for i := 0; i < n; i++ {
+		o := base
+		if vary != nil {
+			o = vary(i)
 		}
-		out = append(out, r)
+		jobs[i] = func(context.Context) (Report, error) { return Simulate(o) }
 	}
-	return out, nil
+	return runner.Collect(ctx, runner.Config{Workers: parallel}, jobs)
 }

@@ -1,6 +1,10 @@
 package fastsafe
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestSimulateDefaults(t *testing.T) {
 	r, err := Simulate(Options{Mode: FNS, MeasureMS: 10, WarmupMS: 5})
@@ -52,6 +56,62 @@ func TestCompareOrdering(t *testing.T) {
 	}
 	if fns.PTcacheL1PerPage != 0 || fns.PTcacheL2PerPage != 0 {
 		t.Fatal("FNS PTcache-L1/L2 misses nonzero")
+	}
+}
+
+// TestSweepParallelMatchesSequential runs all 8 modes concurrently and
+// asserts each Report is identical to its sequentially-computed baseline:
+// the simulations are deterministic and self-contained, so parallelism
+// must not change a single field. Run under -race this is also the
+// shared-mutable-state audit for everything host.New touches.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	base := Options{MeasureMS: 5, WarmupMS: 3, Seed: 1}
+	modes := Modes()
+	vary := func(i int) Options {
+		v := base
+		v.Mode = modes[i]
+		return v
+	}
+	want := make([]Report, len(modes))
+	for i := range modes {
+		r, err := Simulate(vary(i))
+		if err != nil {
+			t.Fatalf("sequential %s: %v", modes[i], err)
+		}
+		want[i] = r
+	}
+	got, err := SweepContext(context.Background(), len(modes), base, vary, len(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range modes {
+		if got[i] != want[i] {
+			t.Fatalf("mode %s: parallel report diverges from sequential:\n got %+v\nwant %+v",
+				modes[i], got[i], want[i])
+		}
+	}
+}
+
+func TestSweepPropagatesJobError(t *testing.T) {
+	base := Options{MeasureMS: 3, WarmupMS: 2}
+	_, err := Sweep(base, func(i int) Options {
+		v := base
+		if i == 1 {
+			v.Mode = "bogus"
+		}
+		return v
+	}, 3)
+	if err == nil {
+		t.Fatal("bad job did not fail the sweep")
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SweepContext(ctx, 1, Options{MeasureMS: 3, WarmupMS: 2}, nil, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -2,27 +2,37 @@
 // evaluation (§2.2 and §4) as printable tables, one function per figure.
 // The per-experiment index in DESIGN.md maps each figure to the modules
 // and workloads used here.
+//
+// Every figure is a grid of independent deterministic simulations, so
+// each function builds its grid of workload.Specs first and fans them out
+// through internal/runner (Options.Parallel workers), then formats the
+// rows in grid order — parallelism never changes a table's contents.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"fastsafe/internal/core"
 	"fastsafe/internal/host"
 	"fastsafe/internal/model"
+	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
 	"fastsafe/internal/workload"
 )
 
-// Options control experiment durations. Quick() is used by the benchmark
-// harness and tests; Default() by cmd/fsbench.
+// Options control experiment durations and fan-out. Quick() is used by
+// the benchmark harness and tests; Default() by cmd/fsbench.
 type Options struct {
 	Warmup  sim.Duration
 	Measure sim.Duration
 	// RPCMeasure lengthens latency experiments so tail percentiles have
 	// enough samples.
 	RPCMeasure sim.Duration
+	// Parallel bounds how many simulation cells of one figure run
+	// concurrently; <= 0 means GOMAXPROCS.
+	Parallel int
 }
 
 // Default returns full-length windows.
@@ -93,14 +103,36 @@ func (t Table) String() string {
 	return b.String()
 }
 
-func runSpec(s workload.Spec, o Options) host.Results {
-	s.Warmup = o.Warmup
-	s.Measure = o.Measure
-	r, err := s.Run()
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", s.Name, err))
+// runSpecsRaw fans specs (windows already set) across the worker pool and
+// returns results indexed by spec. A failing or panicking cell aborts the
+// figure, as the sequential code did.
+func runSpecsRaw(specs []workload.Spec, parallel int) []host.Results {
+	jobs := make([]runner.Job[host.Results], len(specs))
+	for i, s := range specs {
+		s := s
+		jobs[i] = func(context.Context) (host.Results, error) {
+			r, err := s.Run()
+			if err != nil {
+				return host.Results{}, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			return r, nil
+		}
 	}
-	return r
+	rs, err := runner.Collect(context.Background(), runner.Config{Workers: parallel}, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return rs
+}
+
+// runSpecs applies o's measurement windows to every spec and runs them
+// concurrently.
+func runSpecs(specs []workload.Spec, o Options) []host.Results {
+	for i := range specs {
+		specs[i].Warmup = o.Warmup
+		specs[i].Measure = o.Measure
+	}
+	return runSpecsRaw(specs, o.Parallel)
 }
 
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
@@ -124,17 +156,35 @@ func counterRow(label string, r host.Results) []string {
 var flowSweep = []int{5, 10, 20, 40}
 var ringSweep = []int{256, 512, 1024, 2048}
 
+// counterTable runs a mode × parameter iperf grid and formats it with the
+// shared microbenchmark header.
+func counterTable(id, title string, modes []core.Mode, params []int,
+	mk func(core.Mode, int) workload.Spec, label func(int) string, o Options) Table {
+	t := Table{ID: id, Title: title, Header: counterHeader}
+	var specs []workload.Spec
+	var labels []string
+	for _, mode := range modes {
+		for _, p := range params {
+			specs = append(specs, mk(mode, p))
+			labels = append(labels, label(p))
+		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, counterRow(labels[i], r))
+	}
+	return t
+}
+
+func flowLabel(f int) string { return fmt.Sprintf("%d flows", f) }
+func ringLabel(r int) string { return fmt.Sprintf("ring %d", r) }
+
 // Fig2 regenerates Figure 2 (panels a–d): Linux strict vs IOMMU off with
 // increasing flow counts. Panel e's locality trace is Fig2e.
 func Fig2(o Options) Table {
-	t := Table{ID: "fig2", Title: "Linux strict vs IOMMU off, flow sweep (§2.2)", Header: counterHeader}
-	for _, mode := range []core.Mode{core.Off, core.Strict} {
-		for _, flows := range flowSweep {
-			r := runSpec(workload.Iperf(mode, flows, 0), o)
-			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("%d flows", flows), r))
-		}
-	}
-	return t
+	return counterTable("fig2", "Linux strict vs IOMMU off, flow sweep (§2.2)",
+		[]core.Mode{core.Off, core.Strict}, flowSweep,
+		func(m core.Mode, flows int) workload.Spec { return workload.Iperf(m, flows, 0) },
+		flowLabel, o)
 }
 
 // localityTable summarises a reuse-distance trace the way Figures 2e/3e/
@@ -142,8 +192,7 @@ func Fig2(o Options) Table {
 func localityTable(id, title string, specs []workload.Spec, labels []string, o Options) Table {
 	t := Table{ID: id, Title: title,
 		Header: []string{"mode", "case", "allocs", "mean_dist", "frac>=32", "frac>=64", "frac>=128"}}
-	for i, s := range specs {
-		r := runSpec(s, o)
+	for i, r := range runSpecs(specs, o) {
 		tr := r.Trace
 		if tr == nil {
 			continue
@@ -173,21 +222,17 @@ func Fig2e(o Options) Table {
 	var labels []string
 	for _, flows := range flowSweep {
 		specs = append(specs, workload.IperfTrace(core.Strict, flows, 0, 200000))
-		labels = append(labels, fmt.Sprintf("%d flows", flows))
+		labels = append(labels, flowLabel(flows))
 	}
 	return localityTable("fig2e", "PTcache-L3 locality, Linux strict, flow sweep", specs, labels, o)
 }
 
 // Fig3 regenerates Figure 3 (a–d): ring-buffer-size sweep.
 func Fig3(o Options) Table {
-	t := Table{ID: "fig3", Title: "Linux strict vs IOMMU off, ring-size sweep (§2.2)", Header: counterHeader}
-	for _, mode := range []core.Mode{core.Off, core.Strict} {
-		for _, ring := range ringSweep {
-			r := runSpec(workload.Iperf(mode, 0, ring), o)
-			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("ring %d", ring), r))
-		}
-	}
-	return t
+	return counterTable("fig3", "Linux strict vs IOMMU off, ring-size sweep (§2.2)",
+		[]core.Mode{core.Off, core.Strict}, ringSweep,
+		func(m core.Mode, ring int) workload.Spec { return workload.Iperf(m, 0, ring) },
+		ringLabel, o)
 }
 
 // Fig3e regenerates the Figure 3e locality panel.
@@ -196,21 +241,17 @@ func Fig3e(o Options) Table {
 	var labels []string
 	for _, ring := range ringSweep {
 		specs = append(specs, workload.IperfTrace(core.Strict, 0, ring, 200000))
-		labels = append(labels, fmt.Sprintf("ring %d", ring))
+		labels = append(labels, ringLabel(ring))
 	}
 	return localityTable("fig3e", "PTcache-L3 locality, Linux strict, ring sweep", specs, labels, o)
 }
 
 // Fig7 regenerates Figure 7 (a–d): F&S vs strict vs off, flow sweep.
 func Fig7(o Options) Table {
-	t := Table{ID: "fig7", Title: "F&S eliminates protection overheads, flow sweep (§4.1)", Header: counterHeader}
-	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
-		for _, flows := range flowSweep {
-			r := runSpec(workload.Iperf(mode, flows, 0), o)
-			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("%d flows", flows), r))
-		}
-	}
-	return t
+	return counterTable("fig7", "F&S eliminates protection overheads, flow sweep (§4.1)",
+		[]core.Mode{core.Off, core.Strict, core.FNS}, flowSweep,
+		func(m core.Mode, flows int) workload.Spec { return workload.Iperf(m, flows, 0) },
+		flowLabel, o)
 }
 
 // Fig7e regenerates the Figure 7e locality panel (F&S).
@@ -219,21 +260,17 @@ func Fig7e(o Options) Table {
 	var labels []string
 	for _, flows := range flowSweep {
 		specs = append(specs, workload.IperfTrace(core.FNS, flows, 0, 200000))
-		labels = append(labels, fmt.Sprintf("%d flows", flows))
+		labels = append(labels, flowLabel(flows))
 	}
 	return localityTable("fig7e", "PTcache-L3 locality, F&S, flow sweep", specs, labels, o)
 }
 
 // Fig8 regenerates Figure 8 (a–d): F&S ring-size sweep.
 func Fig8(o Options) Table {
-	t := Table{ID: "fig8", Title: "F&S under growing IO working sets, ring sweep (§4.1)", Header: counterHeader}
-	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
-		for _, ring := range ringSweep {
-			r := runSpec(workload.Iperf(mode, 0, ring), o)
-			t.Rows = append(t.Rows, counterRow(fmt.Sprintf("ring %d", ring), r))
-		}
-	}
-	return t
+	return counterTable("fig8", "F&S under growing IO working sets, ring sweep (§4.1)",
+		[]core.Mode{core.Off, core.Strict, core.FNS}, ringSweep,
+		func(m core.Mode, ring int) workload.Spec { return workload.Iperf(m, 0, ring) },
+		ringLabel, o)
 }
 
 // Fig8e regenerates the Figure 8e locality panel.
@@ -242,7 +279,7 @@ func Fig8e(o Options) Table {
 	var labels []string
 	for _, ring := range ringSweep {
 		specs = append(specs, workload.IperfTrace(core.FNS, 0, ring, 200000))
-		labels = append(labels, fmt.Sprintf("ring %d", ring))
+		labels = append(labels, ringLabel(ring))
 	}
 	return localityTable("fig8e", "PTcache-L3 locality, F&S, ring sweep", specs, labels, o)
 }
@@ -251,23 +288,26 @@ func Fig8e(o Options) Table {
 func Fig9(o Options) Table {
 	t := Table{ID: "fig9", Title: "RPC tail latency under colocated iperf (§4.1)",
 		Header: []string{"mode", "rpc_size", "p50_us", "p90_us", "p99_us", "p99.9_us", "p99.99_us", "rpcs"}}
+	sizes := []int{128, 4096, 32768}
+	var specs []workload.Spec
+	var labels []string
 	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
-		for _, size := range []int{128, 4096, 32768} {
+		for _, size := range sizes {
 			s := workload.RPC(mode, size)
 			s.Warmup = o.Warmup
 			s.Measure = o.RPCMeasure
-			r, err := s.Run()
-			if err != nil {
-				panic(err)
-			}
-			p := r.Percentiles()
-			us := func(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1000) }
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%dB", size),
-				us(p[0]), us(p[1]), us(p[2]), us(p[3]), us(p[4]),
-				fmt.Sprintf("%d", r.Completed),
-			})
+			specs = append(specs, s)
+			labels = append(labels, fmt.Sprintf("%dB", size))
 		}
+	}
+	for i, r := range runSpecsRaw(specs, o.Parallel) {
+		p := r.Percentiles()
+		us := func(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1000) }
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), labels[i],
+			us(p[0]), us(p[1]), us(p[2]), us(p[3]), us(p[4]),
+			fmt.Sprintf("%d", r.Completed),
+		})
 	}
 	return t
 }
@@ -276,14 +316,19 @@ func Fig9(o Options) Table {
 func Fig10(o Options) Table {
 	t := Table{ID: "fig10", Title: "Extreme Rx/Tx interference (§4.1)",
 		Header: []string{"mode", "core_pairs", "rx_gbps", "tx_gbps", "drop", "reads/pg"}}
+	var specs []workload.Spec
+	var pairsOf []int
 	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
 		for _, pairs := range []int{1, 2, 4} {
-			r := runSpec(workload.Bidirectional(mode, pairs), o)
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%d", pairs),
-				f1(r.RxGbps), f1(r.TxGbps), pct(r.DropRate), f2(r.ReadsPerPage),
-			})
+			specs = append(specs, workload.Bidirectional(mode, pairs))
+			pairsOf = append(pairsOf, pairs)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%d", pairsOf[i]),
+			f1(r.RxGbps), f1(r.TxGbps), pct(r.DropRate), f2(r.ReadsPerPage),
+		})
 	}
 	return t
 }
@@ -292,16 +337,21 @@ func Fig10(o Options) Table {
 func appTable(id, title string, mk func(core.Mode, int) workload.Spec, sizes []int, o Options) Table {
 	t := Table{ID: id, Title: title,
 		Header: []string{"mode", "size", "app_gbps", "drop", "iotlb/pg", "reads/pg", "p99_us"}}
+	var specs []workload.Spec
+	var sizeOf []int
 	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
 		for _, size := range sizes {
-			r := runSpec(mk(mode, size), o)
-			p99 := float64(r.Percentiles()[2]) / 1000
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%dKB", size>>10),
-				f1(r.MsgGbps), pct(r.DropRate), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
-				f1(p99),
-			})
+			specs = append(specs, mk(mode, size))
+			sizeOf = append(sizeOf, size)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		p99 := float64(r.Percentiles()[2]) / 1000
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%dKB", sizeOf[i]>>10),
+			f1(r.MsgGbps), pct(r.DropRate), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
+			f1(p99),
+		})
 	}
 	return t
 }
@@ -329,16 +379,19 @@ func Fig11c(o Options) Table {
 func Fig12(o Options) Table {
 	t := Table{ID: "fig12", Title: "Contribution of each F&S idea, Redis 8KB values (§4.3)",
 		Header: []string{"config", "app_gbps", "iotlb/pg", "ptL1/pg", "ptL3/pg", "reads/pg", "inv_reqs"}}
-	labels := map[core.Mode]string{
-		core.Strict:         "Linux",
-		core.StrictPreserve: "Linux+A (preserve PTcaches)",
-		core.StrictContig:   "Linux+B (contig+batch)",
-		core.FNS:            "F&S",
+	labels := []string{
+		"Linux",
+		"Linux+A (preserve PTcaches)",
+		"Linux+B (contig+batch)",
+		"F&S",
 	}
+	var specs []workload.Spec
 	for _, mode := range []core.Mode{core.Strict, core.StrictPreserve, core.StrictContig, core.FNS} {
-		r := runSpec(workload.RedisAblation(mode), o)
+		specs = append(specs, workload.RedisAblation(mode))
+	}
+	for i, r := range runSpecs(specs, o) {
 		t.Rows = append(t.Rows, []string{
-			labels[mode], f1(r.MsgGbps), f2(r.IOTLBPerPage), f3(r.L1PerPage), f3(r.L3PerPage),
+			labels[i], f1(r.MsgGbps), f2(r.IOTLBPerPage), f3(r.L1PerPage), f3(r.L3PerPage),
 			f2(r.ReadsPerPage), fmt.Sprintf("%d", r.InvRequests),
 		})
 	}
@@ -350,12 +403,15 @@ func Fig12(o Options) Table {
 func Model(o Options) Table {
 	t := Table{ID: "model", Title: "Analytic model T = p/(l0 + M*lm) vs simulation (§2.2)",
 		Header: []string{"mode", "flows", "sim_gbps", "model_gbps", "rel_err", "rx_reads/dma"}}
+	var specs []workload.Spec
+	for _, flows := range flowSweep {
+		specs = append(specs, workload.Iperf(core.Strict, flows, 0))
+	}
 	type pt struct {
 		m, thr float64
 	}
 	var pts []pt
-	for _, flows := range flowSweep {
-		r := runSpec(workload.Iperf(core.Strict, flows, 0), o)
+	for i, r := range runSpecs(specs, o) {
 		frame := float64(4096 + 66)
 		ser := frame * 8 / 128
 		svc := model.L0Ns + r.RxReadsPerDMA*model.LmNs
@@ -367,7 +423,7 @@ func Model(o Options) Table {
 			est = 100
 		}
 		t.Rows = append(t.Rows, []string{
-			"strict", fmt.Sprintf("%d", flows), f1(r.RxGbps), f1(est),
+			"strict", fmt.Sprintf("%d", flowSweep[i]), f1(r.RxGbps), f1(est),
 			pct(model.RelativeError(est, r.RxGbps)), f2(r.RxReadsPerDMA),
 		})
 		pts = append(pts, pt{r.RxReadsPerDMA, r.RxGbps})
@@ -388,10 +444,14 @@ func Model(o Options) Table {
 func Deferred(o Options) Table {
 	t := Table{ID: "modes", Title: "All protection modes, default iperf (extension)",
 		Header: []string{"mode", "strict_safety", "rx_gbps", "reads/pg", "inv_reqs", "stale_uses"}}
-	for _, mode := range core.Modes() {
-		r := runSpec(workload.Iperf(mode, 0, 0), o)
+	modes := core.Modes()
+	var specs []workload.Spec
+	for _, mode := range modes {
+		specs = append(specs, workload.Iperf(mode, 0, 0))
+	}
+	for i, r := range runSpecs(specs, o) {
 		t.Rows = append(t.Rows, []string{
-			mode.String(), fmt.Sprintf("%v", mode.StrictSafety()),
+			r.Mode.String(), fmt.Sprintf("%v", modes[i].StrictSafety()),
 			f1(r.RxGbps), f2(r.ReadsPerPage),
 			fmt.Sprintf("%d", r.InvRequests), fmt.Sprintf("%d", r.StaleIOTLB+r.StalePT),
 		})
@@ -404,6 +464,8 @@ func Deferred(o Options) Table {
 func DescriptorSizes(o Options) Table {
 	t := Table{ID: "descsize", Title: "F&S vs strict across descriptor sizes (§3 generality)",
 		Header: []string{"mode", "desc_pages", "rx_gbps", "reads/pg", "inv_reqs"}}
+	var specs []workload.Spec
+	var pagesOf []int
 	for _, mode := range []core.Mode{core.Strict, core.FNS} {
 		for _, pages := range []int{1, 4, 16, 64} {
 			s := workload.Iperf(mode, 0, 0)
@@ -414,12 +476,15 @@ func DescriptorSizes(o Options) Table {
 				s.Host.MTU = 1500
 				s.Host.RingPackets = 512
 			}
-			r := runSpec(s, o)
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%d", pages),
-				f1(r.RxGbps), f2(r.ReadsPerPage), fmt.Sprintf("%d", r.InvRequests),
-			})
+			specs = append(specs, s)
+			pagesOf = append(pagesOf, pages)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%d", pagesOf[i]),
+			f1(r.RxGbps), f2(r.ReadsPerPage), fmt.Sprintf("%d", r.InvRequests),
+		})
 	}
 	return t
 }
@@ -429,16 +494,21 @@ func DescriptorSizes(o Options) Table {
 func CacheSizes(o Options) Table {
 	t := Table{ID: "ptcache", Title: "PTcache-L3 size sensitivity, Linux strict (extension)",
 		Header: []string{"mode", "l3_entries", "rx_gbps", "ptL3/pg", "reads/pg"}}
+	var specs []workload.Spec
+	var sizeOf []int
 	for _, mode := range []core.Mode{core.Strict, core.FNS} {
 		for _, size := range []int{16, 32, 64, 128} {
 			s := workload.Iperf(mode, 0, 0)
 			s.Host.IOMMU.L3Size = size
-			r := runSpec(s, o)
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%d", size),
-				f1(r.RxGbps), f3(r.L3PerPage), f2(r.ReadsPerPage),
-			})
+			specs = append(specs, s)
+			sizeOf = append(sizeOf, size)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%d", sizeOf[i]),
+			f1(r.RxGbps), f3(r.L3PerPage), f2(r.ReadsPerPage),
+		})
 	}
 	return t
 }
@@ -449,15 +519,20 @@ func CacheSizes(o Options) Table {
 func Hugepages(o Options) Table {
 	t := Table{ID: "huge", Title: "F&S + hugepages: reducing the miss count too (§5 extension)",
 		Header: []string{"mode", "flows", "rx_gbps", "iotlb/pg", "reads/pg", "inv_reqs"}}
+	var specs []workload.Spec
+	var flowsOf []int
 	for _, mode := range []core.Mode{core.Strict, core.FNS, core.FNSHuge} {
 		for _, flows := range []int{5, 40} {
-			r := runSpec(workload.Iperf(mode, flows, 0), o)
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%d", flows),
-				f1(r.RxGbps), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
-				fmt.Sprintf("%d", r.InvRequests),
-			})
+			specs = append(specs, workload.Iperf(mode, flows, 0))
+			flowsOf = append(flowsOf, flows)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%d", flowsOf[i]),
+			f1(r.RxGbps), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
+			fmt.Sprintf("%d", r.InvRequests),
+		})
 	}
 	return t
 }
@@ -469,16 +544,21 @@ func Hugepages(o Options) Table {
 func MemoryLatency(o Options) Table {
 	t := Table{ID: "memlat", Title: "Sensitivity to memory read latency l_m (§2.2 contention, extension)",
 		Header: []string{"mode", "lm_ns", "rx_gbps", "reads/pg"}}
+	var specs []workload.Spec
+	var lmOf []sim.Duration
 	for _, mode := range []core.Mode{core.Strict, core.FNS} {
 		for _, lm := range []sim.Duration{197, 300, 400} {
 			s := workload.Iperf(mode, 0, 0)
 			s.Host.Lm = lm
-			r := runSpec(s, o)
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%d", int64(lm)),
-				f1(r.RxGbps), f2(r.ReadsPerPage),
-			})
+			specs = append(specs, s)
+			lmOf = append(lmOf, lm)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%d", int64(lmOf[i])),
+			f1(r.RxGbps), f2(r.ReadsPerPage),
+		})
 	}
 	return t
 }
@@ -489,16 +569,21 @@ func MemoryLatency(o Options) Table {
 func Seeds(o Options) Table {
 	t := Table{ID: "seeds", Title: "Throughput across simulation seeds (extension)",
 		Header: []string{"mode", "seed", "rx_gbps", "reads/pg", "drop"}}
+	var specs []workload.Spec
+	var seedOf []int64
 	for _, mode := range []core.Mode{core.Strict, core.FNS} {
 		for seed := int64(1); seed <= 4; seed++ {
 			s := workload.Iperf(mode, 0, 0)
 			s.Host.Seed = seed
-			r := runSpec(s, o)
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%d", seed),
-				f1(r.RxGbps), f2(r.ReadsPerPage), pct(r.DropRate),
-			})
+			specs = append(specs, s)
+			seedOf = append(seedOf, seed)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%d", seedOf[i]),
+			f1(r.RxGbps), f2(r.ReadsPerPage), pct(r.DropRate),
+		})
 	}
 	return t
 }
@@ -510,27 +595,50 @@ func Seeds(o Options) Table {
 func Storage(o Options) Table {
 	t := Table{ID: "storage", Title: "Cross-device IOMMU contention: NIC + storage (extension)",
 		Header: []string{"mode", "storage_GBps", "rx_gbps", "iotlb/pg", "reads/pg", "blocks"}}
+	type cell struct {
+		r      host.Results
+		blocks int64
+	}
+	type cfg struct {
+		mode core.Mode
+		gbps float64
+	}
+	var cfgs []cfg
 	for _, mode := range []core.Mode{core.Strict, core.FNS} {
 		for _, gbps := range []float64{0, 4, 8} {
-			h, err := host.New(host.Config{Mode: mode})
+			cfgs = append(cfgs, cfg{mode, gbps})
+		}
+	}
+	jobs := make([]runner.Job[cell], len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		jobs[i] = func(context.Context) (cell, error) {
+			h, err := host.New(host.Config{Mode: c.mode})
 			if err != nil {
-				panic(err)
+				return cell{}, err
 			}
 			var dev interface{ Blocks() int64 }
-			if gbps > 0 {
-				dev = h.InstallStorage(host.StorageConfig{ReadGBps: gbps})
+			if c.gbps > 0 {
+				dev = h.InstallStorage(host.StorageConfig{ReadGBps: c.gbps})
 			}
 			r := h.Run(o.Warmup, o.Measure)
-			blocks := int64(0)
+			out := cell{r: r}
 			if dev != nil {
-				blocks = dev.Blocks()
+				out.blocks = dev.Blocks()
 			}
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%.0f", gbps),
-				f1(r.RxGbps), f2(r.IOTLBPerPage), f2(r.ReadsPerPage),
-				fmt.Sprintf("%d", blocks),
-			})
+			return out, nil
 		}
+	}
+	cells, err := runner.Collect(context.Background(), runner.Config{Workers: o.Parallel}, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: storage: %v", err))
+	}
+	for i, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			cfgs[i].mode.String(), fmt.Sprintf("%.0f", cfgs[i].gbps),
+			f1(c.r.RxGbps), f2(c.r.IOTLBPerPage), f2(c.r.ReadsPerPage),
+			fmt.Sprintf("%d", c.blocks),
+		})
 	}
 	return t
 }
@@ -542,16 +650,21 @@ func Storage(o Options) Table {
 func MemoryHog(o Options) Table {
 	t := Table{ID: "memhog", Title: "Memory-bandwidth antagonist (§2.2 contention, extension)",
 		Header: []string{"mode", "hog_GBps", "rx_gbps", "mem_util", "reads/pg"}}
+	var specs []workload.Spec
+	var hogOf []float64
 	for _, mode := range []core.Mode{core.Off, core.Strict, core.FNS} {
 		for _, hog := range []float64{0, 6, 12} {
 			s := workload.Iperf(mode, 0, 0)
 			s.Host.MemHogGBps = hog
-			r := runSpec(s, o)
-			t.Rows = append(t.Rows, []string{
-				mode.String(), fmt.Sprintf("%.0f", hog),
-				f1(r.RxGbps), f2(r.MemUtil), f2(r.ReadsPerPage),
-			})
+			specs = append(specs, s)
+			hogOf = append(hogOf, hog)
 		}
+	}
+	for i, r := range runSpecs(specs, o) {
+		t.Rows = append(t.Rows, []string{
+			r.Mode.String(), fmt.Sprintf("%.0f", hogOf[i]),
+			f1(r.RxGbps), f2(r.MemUtil), f2(r.ReadsPerPage),
+		})
 	}
 	return t
 }
@@ -562,28 +675,45 @@ func MemoryHog(o Options) Table {
 func CPUCost(o Options) Table {
 	t := Table{ID: "cpucost", Title: "Protection CPU cost per GB (extension, cf. [39, 42])",
 		Header: []string{"mode", "rx_gbps", "cpu_ms_per_GB", "inv_reqs"}}
-	for _, mode := range core.Modes() {
-		s := workload.Iperf(mode, 0, 0)
-		h, err := host.New(s.Host)
-		if err != nil {
-			panic(err)
+	type cell struct {
+		r   host.Results
+		cpu sim.Duration
+	}
+	modes := core.Modes()
+	jobs := make([]runner.Job[cell], len(modes))
+	for i, mode := range modes {
+		mode := mode
+		jobs[i] = func(context.Context) (cell, error) {
+			s := workload.Iperf(mode, 0, 0)
+			h, err := host.New(s.Host)
+			if err != nil {
+				return cell{}, err
+			}
+			before := h.Domain().Counters().CPUTime
+			r := h.Run(o.Warmup, o.Measure)
+			return cell{r: r, cpu: h.Domain().Counters().CPUTime - before}, nil
 		}
-		before := h.Domain().Counters().CPUTime
-		r := h.Run(o.Warmup, o.Measure)
-		cpu := h.Domain().Counters().CPUTime - before
-		gb := r.RxGbps * float64(r.Measure) / 8e9 // GB moved in the window
+	}
+	cells, err := runner.Collect(context.Background(), runner.Config{Workers: o.Parallel}, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: cpucost: %v", err))
+	}
+	for _, c := range cells {
+		gb := c.r.RxGbps * float64(c.r.Measure) / 8e9 // GB moved in the window
 		ms := 0.0
 		if gb > 0 {
-			ms = float64(cpu) / 1e6 / gb
+			ms = float64(c.cpu) / 1e6 / gb
 		}
 		t.Rows = append(t.Rows, []string{
-			mode.String(), f1(r.RxGbps), f2(ms), fmt.Sprintf("%d", r.InvRequests),
+			c.r.Mode.String(), f1(c.r.RxGbps), f2(ms), fmt.Sprintf("%d", c.r.InvRequests),
 		})
 	}
 	return t
 }
 
-// All runs every figure and extension table.
+// All runs every figure and extension table. Each figure fans its own
+// cells across the worker pool; cmd/fsbench additionally runs whole
+// figures concurrently.
 func All(o Options) []Table {
 	return []Table{
 		Fig2(o), Fig2e(o), Fig3(o), Fig3e(o),

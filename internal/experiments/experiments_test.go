@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -113,6 +114,21 @@ func TestExtensionTablesShape(t *testing.T) {
 	}
 	if tab := Seeds(o); len(tab.Rows) != 8 {
 		t.Fatalf("seeds rows = %d", len(tab.Rows))
+	}
+}
+
+// TestParallelFigureMatchesSerial regenerates the same figure with one
+// worker and with eight and requires identical tables: the runner fan-out
+// must never change a figure's contents, only its wall-clock time.
+func TestParallelFigureMatchesSerial(t *testing.T) {
+	serialOpts := tiny()
+	serialOpts.Parallel = 1
+	parOpts := tiny()
+	parOpts.Parallel = 8
+	serial := Deferred(serialOpts)
+	par := Deferred(parOpts)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel table diverges from serial:\n%s\nvs\n%s", par, serial)
 	}
 }
 

@@ -175,6 +175,13 @@ type hostCounters struct {
 }
 
 // Host is the simulated server pair.
+//
+// A Host is single-goroutine: construction and Run must happen on one
+// goroutine, and everything it owns (engine, domain, wires, cores,
+// counters, RNGs) is reachable only through it. Distinct Hosts share no
+// mutable state — New takes no globals and registers nothing anywhere —
+// which is what lets internal/runner execute many simulations
+// concurrently with byte-identical results to a sequential run.
 type Host struct {
 	cfg Config
 	eng *sim.Engine

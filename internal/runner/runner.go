@@ -1,0 +1,190 @@
+// Package runner is the concurrency backbone for experiment sweeps: a
+// context-aware worker pool that fans independent simulation jobs across
+// CPUs while keeping everything callers rely on deterministic.
+//
+// Each simulation is a self-contained deterministic event loop (its own
+// engine, domain, RNG), so a sweep over modes, flow counts, or seeds is
+// embarrassingly parallel — the only thing concurrency must not change is
+// the *results*. The pool therefore guarantees:
+//
+//   - results are indexed by job, independent of completion order;
+//   - a panicking job fails that job (with its stack), not the process;
+//   - cancelling the context stops handing out work, and jobs never
+//     started report the context's error;
+//   - an optional per-job timeout context and a serialised progress
+//     callback for long sweeps.
+//
+// Jobs receive a context but are not preempted by it: a pure-CPU
+// simulation that ignores ctx runs to completion, and the timeout/cancel
+// takes effect at the next job boundary. That is the right trade for this
+// codebase — simulations are short (seconds) and deterministic, and
+// injecting cancellation checks into the event loop would cost more than
+// it saves.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job computes one result. The context carries pool cancellation and the
+// per-job timeout; long-running jobs may observe it, short simulations
+// typically ignore it.
+type Job[R any] func(ctx context.Context) (R, error)
+
+// Result is one job's outcome.
+type Result[R any] struct {
+	Value R
+	Err   error
+}
+
+// Progress describes one finished (or skipped) job. Callbacks are invoked
+// serially under the pool's lock, so they need no synchronisation of
+// their own.
+type Progress struct {
+	Index int   // index of the job that just finished
+	Done  int   // jobs finished so far, including this one
+	Total int   // total jobs in this run
+	Err   error // nil on success
+}
+
+// Config controls one pool run. The zero value is ready to use.
+type Config struct {
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS(0).
+	Workers int
+	// Timeout, when positive, bounds each job's context. Jobs that do not
+	// observe their context are not preempted (see the package comment).
+	Timeout time.Duration
+	// OnProgress, when non-nil, is called once per job as it completes,
+	// serially and in completion order.
+	OnProgress func(Progress)
+}
+
+// PanicError is the failure recorded for a job that panicked. The
+// panicking goroutine is the worker's, so the process survives and the
+// remaining jobs keep running.
+type PanicError struct {
+	Index int    // job index
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Index, e.Value)
+}
+
+// All runs every job on a bounded worker pool and returns one Result per
+// job, with results[i] holding job i's outcome regardless of completion
+// order. Job failures do not stop the run; cancellation does — jobs not
+// yet started when ctx is cancelled are recorded with Err = ctx.Err()
+// (and reported through OnProgress) without being executed.
+func All[R any](ctx context.Context, cfg Config, jobs []Job[R]) []Result[R] {
+	n := len(jobs)
+	out := make([]Result[R], n)
+	if n == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var mu sync.Mutex // guards next, done, out writes, OnProgress
+	next, done := 0, 0
+	finish := func(i int, r Result[R]) {
+		mu.Lock()
+		defer mu.Unlock()
+		out[i] = r
+		done++
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(Progress{Index: i, Done: done, Total: n, Err: r.Err})
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					finish(i, Result[R]{Err: err})
+					continue
+				}
+				finish(i, runOne(ctx, cfg.Timeout, i, jobs[i]))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runOne executes one job with panic capture and the per-job timeout.
+func runOne[R any](ctx context.Context, timeout time.Duration, i int, job Job[R]) (res Result[R]) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			res = Result[R]{Err: &PanicError{Index: i, Value: v, Stack: debug.Stack()}}
+		}
+	}()
+	v, err := job(ctx)
+	return Result[R]{Value: v, Err: err}
+}
+
+// Collect is the fail-fast variant sweeps use: it runs every job, cancels
+// the jobs not yet started when one fails, and returns the values in job
+// order alongside the first failure observed (nil when all succeed).
+// Values of failed or skipped jobs are zero.
+func Collect[R any](ctx context.Context, cfg Config, jobs []Job[R]) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var first error
+	userProgress := cfg.OnProgress
+	// OnProgress runs under the pool lock, so recording the first error
+	// here needs no extra synchronisation.
+	cfg.OnProgress = func(p Progress) {
+		if p.Err != nil && first == nil {
+			first = p.Err
+			cancel()
+		}
+		if userProgress != nil {
+			userProgress(p)
+		}
+	}
+	results := All(cctx, cfg, jobs)
+	out := make([]R, len(results))
+	for i, r := range results {
+		out[i] = r.Value
+	}
+	if first == nil {
+		// All jobs succeeded from the pool's perspective, but the parent
+		// context may have been cancelled before any job started.
+		first = ctx.Err()
+	}
+	return out, first
+}

@@ -7,6 +7,13 @@ import (
 )
 
 // Counter is a monotonically increasing event count.
+//
+// Counters are engine-confined, not atomic: every Counter (and Set)
+// belongs to exactly one simulation's single-threaded event loop, and the
+// sweep runner keeps whole simulations on single goroutines. Audited for
+// the concurrent runner: nothing in this package is shared across hosts,
+// so the hot-path increments stay plain int64 (go test -race enforces
+// this in CI via the parallel-sweep tests).
 type Counter struct{ n int64 }
 
 // Add increments the counter by d (d may be zero; negative deltas are
