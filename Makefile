@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench ci
+.PHONY: all build vet fmt fmt-check test race bench bench-multidev lint ci
 
 all: build
 
@@ -34,4 +34,24 @@ race:
 bench:
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 
-ci: build vet fmt-check test race bench
+# The multi-device interference figure CI publishes as an artifact.
+bench-multidev:
+	$(GO) run ./cmd/fsbench -fig multidev -quick -json > BENCH_multidevice.json
+
+# Mirrors the CI lint job. Each analyzer is skipped with a notice when
+# its binary is not on PATH (install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest ).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping" >&2; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping" >&2; \
+	fi
+
+ci: build vet fmt-check lint test race bench

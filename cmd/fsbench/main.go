@@ -7,6 +7,7 @@
 //	fsbench -fig all         # regenerate everything (a few minutes)
 //	fsbench -fig fig2 -quick # shorter windows, noisier numbers
 //	fsbench -fig all -parallel 4   # bound the worker pool
+//	fsbench -fig multidev -quick -json > BENCH_multidevice.json
 package main
 
 import (
@@ -27,11 +28,15 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
 	flag.IntVar(parallel, "j", runtime.NumCPU(), "alias for -parallel")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables (for CI artifacts)")
 	progress := flag.Bool("progress", true, "report per-figure progress on stderr (with -fig all)")
 	flag.Parse()
 
 	render := func(t experiments.Table) string {
-		if *csv {
+		switch {
+		case *jsonOut:
+			return t.JSON()
+		case *csv:
 			return fmt.Sprintf("# %s: %s\n%s", t.ID, t.Title, t.CSV())
 		}
 		return t.String()

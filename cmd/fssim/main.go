@@ -5,10 +5,19 @@
 //
 //	fssim -mode fns -flows 20 -ring 512 -mtu 4096 -cores 5 -ms 40
 //	fssim -mode strict -seeds 8 -parallel 4   # seed study, 4 workers
+//	fssim -mode strict -storage 2 -storagedevs 4   # 4 co-tenant devices
+//	fssim -mode fns -nics 1 -devmode strict   # second NIC, strict domain
 //
 // With -seeds N > 1 the same configuration is run under N consecutive
 // seeds (starting at -seed), fanned across -parallel workers; results
 // print in seed order.
+//
+// Co-tenant DMA devices share the host's IOMMU with the primary NIC,
+// each in its own protection domain: -storagedevs attaches that many
+// storage controllers reading at -storage GB/s apiece, -nics attaches
+// extra full network datapaths, and -devmode overrides their protection
+// mode (default: the host's -mode). When devices are attached the
+// per-device breakdown prints after the host line.
 package main
 
 import (
@@ -39,7 +48,10 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
 	trace := flag.Bool("trace", false, "summarise the PTcache-L3 locality trace")
 	memhog := flag.Float64("memhog", 0, "co-tenant memory antagonist, GB/s")
-	storage := flag.Float64("storage", 0, "co-tenant storage device read rate, GB/s")
+	storage := flag.Float64("storage", 0, "co-tenant storage device read rate, GB/s each")
+	storagedevs := flag.Int("storagedevs", 0, "co-tenant storage devices (default 1 when -storage is set)")
+	nics := flag.Int("nics", 0, "extra co-tenant NIC datapaths")
+	devmode := flag.String("devmode", "", "co-tenant device protection mode (default: -mode)")
 	flag.Parse()
 
 	m, err := core.ParseMode(*mode)
@@ -52,6 +64,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	var devMode *core.Mode
+	if *devmode != "" {
+		dm, err := core.ParseMode(*devmode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		devMode = &dm
+	}
+	nStorage := *storagedevs
+	if nStorage == 0 && *storage > 0 {
+		nStorage = 1
+	}
+	if nStorage > 0 && *storage <= 0 {
+		fmt.Fprintln(os.Stderr, "fssim: -storagedevs needs a positive -storage rate")
+		os.Exit(2)
+	}
+	var topo host.Topology
+	for i := 0; i < nStorage; i++ {
+		topo.Storage = append(topo.Storage, host.StorageSpec{ReadGBps: *storage, Mode: devMode})
+	}
+	for i := 0; i < *nics; i++ {
+		topo.NICs = append(topo.NICs, host.NICSpec{Mode: devMode})
+	}
+	multidev := nStorage+*nics > 0
+
 	runSeed := func(s int64) (host.Results, error) {
 		h, err := host.New(host.Config{
 			Mode:            m,
@@ -63,14 +101,12 @@ func main() {
 			DescriptorPages: *descPages,
 			Seed:            s,
 			MemHogGBps:      *memhog,
+			Topology:        topo,
 			TraceL3:         *trace,
 			TraceLimit:      200000,
 		})
 		if err != nil {
 			return host.Results{}, err
-		}
-		if *storage > 0 {
-			h.InstallStorage(host.StorageConfig{ReadGBps: *storage})
 		}
 		return h.Run(sim.Duration(*warmup)*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond), nil
 	}
@@ -96,6 +132,9 @@ func main() {
 			fmt.Printf("%3.0f%% ", u*100)
 		}
 		fmt.Println()
+		if multidev {
+			fmt.Println(r.DeviceTable())
+		}
 		if r.Trace != nil {
 			fmt.Printf("L3 locality: %d allocs, frac>=32 %.3f, frac>=64 %.3f, frac>=128 %.3f\n",
 				len(r.Trace.Dists), r.Trace.FractionAbove(32), r.Trace.FractionAbove(64), r.Trace.FractionAbove(128))

@@ -6,6 +6,7 @@
 //
 //	fstrace -kind locality -mode strict -flows 40 > locality.csv
 //	fstrace -kind latency -mode fns -rpc 4096 > latency.csv
+//	fstrace -kind locality -seed 7 > locality-seed7.csv
 package main
 
 import (
@@ -18,6 +19,20 @@ import (
 	"fastsafe/internal/sim"
 )
 
+const csvDoc = `
+Output columns:
+
+  -kind locality
+    alloc_index        sequential IOVA-allocation number within the window
+    l3_stack_distance  LRU stack distance of the PTcache-L3 slot reused by
+                       this allocation; -1 marks a cold (first-touch) access
+
+  -kind latency
+    quantile           cumulative probability (0.01 .. 0.9999)
+    latency_us         request/response exchange latency at that quantile,
+                       microseconds
+`
+
 func main() {
 	kind := flag.String("kind", "locality", "trace kind: locality | latency")
 	mode := flag.String("mode", "strict", "protection mode")
@@ -26,6 +41,12 @@ func main() {
 	rpc := flag.Int("rpc", 4096, "RPC size for latency traces")
 	ms := flag.Int("ms", 40, "measurement window, milliseconds")
 	limit := flag.Int("limit", 100000, "max locality trace points")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), csvDoc)
+	}
 	flag.Parse()
 
 	m, err := core.ParseMode(*mode)
@@ -37,7 +58,7 @@ func main() {
 	switch *kind {
 	case "locality":
 		h, err := host.New(host.Config{
-			Mode: m, RxFlows: *flows, RingPackets: *ring,
+			Mode: m, RxFlows: *flows, RingPackets: *ring, Seed: *seed,
 			TraceL3: true, TraceLimit: *limit,
 		})
 		if err != nil {
@@ -51,7 +72,7 @@ func main() {
 		}
 
 	case "latency":
-		h, err := host.New(host.Config{Mode: m, RxFlows: *flows, RingPackets: *ring})
+		h, err := host.New(host.Config{Mode: m, RxFlows: *flows, RingPackets: *ring, Seed: *seed})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -60,6 +60,67 @@ type Options struct {
 	MemHogGBps  float64 // co-tenant memory-bandwidth antagonist
 	WarmupMS    int     // default 10
 	MeasureMS   int     // default 30
+
+	// Devices attaches co-tenant DMA devices sharing the host's IOMMU
+	// with the primary NIC. Their interference shows up both in the
+	// top-level (primary NIC) metrics and in Report.Devices.
+	Devices []DeviceOptions
+}
+
+// DeviceOptions describes one co-tenant DMA device.
+type DeviceOptions struct {
+	// Kind selects the device model: "storage" (NVMe-style block reads,
+	// the default) or "nic" (a second full network datapath).
+	Kind string
+	// Mode is the device's protection mode; empty inherits Options.Mode.
+	Mode Mode
+	// RateGBps is the storage read bandwidth in decimal GB/s (storage
+	// only; default 8).
+	RateGBps float64
+}
+
+// validate rejects nonsense before it panics deep inside host.New.
+func (o Options) validate() error {
+	switch {
+	case o.Flows < 0:
+		return fmt.Errorf("fastsafe: Flows must be >= 0, got %d", o.Flows)
+	case o.TxFlows < 0:
+		return fmt.Errorf("fastsafe: TxFlows must be >= 0, got %d", o.TxFlows)
+	case o.Cores < 0:
+		return fmt.Errorf("fastsafe: Cores must be >= 0, got %d", o.Cores)
+	case o.RingPackets < 0:
+		return fmt.Errorf("fastsafe: RingPackets must be >= 0, got %d", o.RingPackets)
+	case o.MTU < 0:
+		return fmt.Errorf("fastsafe: MTU must be >= 0, got %d", o.MTU)
+	case o.MTU > 0 && o.MTU < 64:
+		return fmt.Errorf("fastsafe: MTU must be at least 64 bytes, got %d", o.MTU)
+	case o.Seed < 0:
+		return fmt.Errorf("fastsafe: Seed must be >= 0, got %d", o.Seed)
+	case o.MemHogGBps < 0:
+		return fmt.Errorf("fastsafe: MemHogGBps must be >= 0, got %g", o.MemHogGBps)
+	case o.WarmupMS < 0:
+		return fmt.Errorf("fastsafe: WarmupMS must be >= 0, got %d", o.WarmupMS)
+	case o.MeasureMS < 0:
+		return fmt.Errorf("fastsafe: MeasureMS must be >= 0, got %d", o.MeasureMS)
+	}
+	for i, d := range o.Devices {
+		switch d.Kind {
+		case "", "storage":
+			if d.RateGBps < 0 {
+				return fmt.Errorf("fastsafe: Devices[%d].RateGBps must be >= 0, got %g", i, d.RateGBps)
+			}
+		case "nic":
+			// No rate knob: a NIC co-tenant runs full bulk flows.
+		default:
+			return fmt.Errorf("fastsafe: Devices[%d].Kind must be \"storage\" or \"nic\", got %q", i, d.Kind)
+		}
+		if d.Mode != "" {
+			if _, err := core.ParseMode(string(d.Mode)); err != nil {
+				return fmt.Errorf("fastsafe: Devices[%d]: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // Report is the simulation outcome, in the units the paper plots.
@@ -83,6 +144,22 @@ type Report struct {
 	// Safety accounting: both must be zero for every strict-safety mode.
 	StaleIOTLBUses int64
 	StalePTUses    int64
+
+	// Devices is the per-device breakdown (primary NIC first, then the
+	// co-tenants in Options.Devices order).
+	Devices []DeviceReport
+}
+
+// DeviceReport is one DMA device's share of the measurement window.
+type DeviceReport struct {
+	Name string
+	Kind string
+	Mode Mode
+
+	GoodputGbps   float64 // payload the device moved
+	MissesPerPage float64 // shared-IOTLB misses per 4KB page of that payload
+	WalkReads     int64   // page-table memory reads its translations caused
+	Invalidations int64   // invalidation requests its domain submitted
 }
 
 // Simulate runs one experiment and returns its report.
@@ -90,9 +167,36 @@ func Simulate(o Options) (Report, error) {
 	if o.Mode == "" {
 		o.Mode = Strict
 	}
+	if err := o.validate(); err != nil {
+		return Report{}, err
+	}
 	m, err := core.ParseMode(string(o.Mode))
 	if err != nil {
 		return Report{}, fmt.Errorf("fastsafe: %w", err)
+	}
+	var topo host.Topology
+	for _, d := range o.Devices {
+		var devMode *core.Mode
+		if d.Mode != "" {
+			dm, err := core.ParseMode(string(d.Mode))
+			if err != nil {
+				return Report{}, fmt.Errorf("fastsafe: %w", err)
+			}
+			devMode = &dm
+		}
+		switch d.Kind {
+		case "", "storage":
+			rate := d.RateGBps
+			if rate == 0 {
+				rate = 8
+			}
+			topo.Storage = append(topo.Storage, host.StorageSpec{
+				ReadGBps: rate,
+				Mode:     devMode,
+			})
+		case "nic":
+			topo.NICs = append(topo.NICs, host.NICSpec{Mode: devMode})
+		}
 	}
 	h, err := host.New(host.Config{
 		Mode:        m,
@@ -103,6 +207,7 @@ func Simulate(o Options) (Report, error) {
 		MTU:         o.MTU,
 		Seed:        o.Seed,
 		MemHogGBps:  o.MemHogGBps,
+		Topology:    topo,
 	})
 	if err != nil {
 		return Report{}, fmt.Errorf("fastsafe: %w", err)
@@ -115,7 +220,7 @@ func Simulate(o Options) (Report, error) {
 		meas = 30
 	}
 	r := h.Run(sim.Duration(warm)*sim.Millisecond, sim.Duration(meas)*sim.Millisecond)
-	return Report{
+	rep := Report{
 		Mode:               Mode(r.Mode.String()),
 		RxGbps:             r.RxGbps,
 		TxGbps:             r.TxGbps,
@@ -130,7 +235,19 @@ func Simulate(o Options) (Report, error) {
 		MemUtilization:     r.MemUtil,
 		StaleIOTLBUses:     r.StaleIOTLB,
 		StalePTUses:        r.StalePT,
-	}, nil
+	}
+	for _, d := range r.Devices {
+		rep.Devices = append(rep.Devices, DeviceReport{
+			Name:          d.Name,
+			Kind:          d.Kind,
+			Mode:          Mode(d.Mode.String()),
+			GoodputGbps:   d.GoodputGbps,
+			MissesPerPage: d.MissesPerPage,
+			WalkReads:     d.WalkReads,
+			Invalidations: d.Invalidations,
+		})
+	}
+	return rep, nil
 }
 
 // Compare runs the same configuration under several modes, concurrently.

@@ -3,6 +3,8 @@ package fastsafe
 import (
 	"context"
 	"errors"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -38,6 +40,74 @@ func TestSimulateEmptyModeDefaultsToStrict(t *testing.T) {
 func TestSimulateRejectsJunkMode(t *testing.T) {
 	if _, err := Simulate(Options{Mode: "bogus"}); err == nil {
 		t.Fatal("junk mode accepted")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string // substring the error must carry
+	}{
+		{"negative flows", Options{Flows: -1}, "Flows"},
+		{"negative tx flows", Options{TxFlows: -3}, "TxFlows"},
+		{"negative cores", Options{Cores: -2}, "Cores"},
+		{"negative ring", Options{RingPackets: -256}, "RingPackets"},
+		{"negative mtu", Options{MTU: -1}, "MTU"},
+		{"tiny mtu", Options{MTU: 32}, "at least 64"},
+		{"negative seed", Options{Seed: -7}, "Seed"},
+		{"negative hog", Options{MemHogGBps: -1.5}, "MemHogGBps"},
+		{"negative warmup", Options{WarmupMS: -10}, "WarmupMS"},
+		{"negative measure", Options{MeasureMS: -10}, "MeasureMS"},
+		{"junk device kind", Options{Devices: []DeviceOptions{{Kind: "gpu"}}}, "Devices[0].Kind"},
+		{"negative device rate", Options{Devices: []DeviceOptions{{Kind: "storage", RateGBps: -4}}}, "Devices[0].RateGBps"},
+		{"junk device mode", Options{Devices: []DeviceOptions{{Mode: "bogus"}}}, "Devices[0]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Simulate(c.o)
+			if err == nil {
+				t.Fatalf("%+v accepted", c.o)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name the bad field (want %q)", err, c.want)
+			}
+			if !strings.HasPrefix(err.Error(), "fastsafe:") {
+				t.Fatalf("error %q not namespaced", err)
+			}
+		})
+	}
+}
+
+func TestSimulateWithDevices(t *testing.T) {
+	r, err := Simulate(Options{
+		Mode:      FNS,
+		WarmupMS:  2,
+		MeasureMS: 6,
+		Devices: []DeviceOptions{
+			{}, // default: storage, inherit mode, 8GB/s
+			{Kind: "storage", Mode: Strict, RateGBps: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Devices) != 3 {
+		t.Fatalf("Devices = %d rows, want 3 (NIC + 2 storage)", len(r.Devices))
+	}
+	if r.Devices[0].Kind != "nic" || r.Devices[0].Mode != FNS {
+		t.Fatalf("primary row = %+v", r.Devices[0])
+	}
+	if r.Devices[1].Mode != FNS {
+		t.Fatalf("inherited device mode = %q, want fns", r.Devices[1].Mode)
+	}
+	if r.Devices[2].Mode != Strict {
+		t.Fatalf("explicit device mode = %q, want strict", r.Devices[2].Mode)
+	}
+	for _, d := range r.Devices {
+		if d.GoodputGbps <= 0 {
+			t.Fatalf("device %s moved no bytes: %+v", d.Name, d)
+		}
 	}
 }
 
@@ -85,7 +155,7 @@ func TestSweepParallelMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range modes {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Fatalf("mode %s: parallel report diverges from sequential:\n got %+v\nwant %+v",
 				modes[i], got[i], want[i])
 		}

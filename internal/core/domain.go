@@ -71,8 +71,14 @@ type Config struct {
 	// page table but shares the IOTLB, page-table caches and walkers —
 	// how multiple devices coexist on one root complex.
 	SharedIOMMU *iommu.IOMMU
-	TraceL3     bool // record PTcache-L3 reuse-distance trace at allocation
-	TraceLimit  int  // max trace points (0 = unlimited)
+	// DefaultDomain, with SharedIOMMU set, attaches as the IOMMU's
+	// pre-existing default domain 0 instead of creating a fresh one. The
+	// host gives the primary device domain 0 so a host-owned IOMMU is
+	// indistinguishable (same domain tags, same cache indexing) from the
+	// legacy layout where the primary device's domain created the IOMMU.
+	DefaultDomain bool
+	TraceL3       bool // record PTcache-L3 reuse-distance trace at allocation
+	TraceLimit    int  // max trace points (0 = unlimited)
 }
 
 func (c Config) withDefaults() Config {
@@ -182,7 +188,7 @@ func NewDomain(cfg Config) *Domain {
 	var domID iommu.DomainID
 	if mmu == nil {
 		mmu = iommu.New(cfg.IOMMU)
-	} else {
+	} else if !cfg.DefaultDomain {
 		domID = mmu.CreateDomain()
 	}
 	d := &Domain{

@@ -1,0 +1,76 @@
+package host
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/sim"
+)
+
+// goldenRun renders one configuration the way cmd/fssim prints it: the
+// Results summary line plus the per-core utilisation row. The golden
+// files lock these bytes across refactors of the construction path.
+func goldenRun(t *testing.T, cfg Config, storageGBps float64) string {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storageGBps > 0 {
+		h.InstallStorage(StorageConfig{ReadGBps: storageGBps})
+	}
+	r := h.Run(2*sim.Millisecond, 6*sim.Millisecond)
+	var b strings.Builder
+	fmt.Fprintln(&b, r)
+	fmt.Fprintf(&b, "per-core CPU utilisation: ")
+	for _, u := range r.CPUUtil {
+		fmt.Fprintf(&b, "%3.0f%% ", u*100)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// TestGoldenHostRunsByteIdentical locks the fssim-style output of the
+// seed configurations: default strict and FNS, a ring sweep point, and
+// the storage co-tenant path. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/host -run Golden.
+func TestGoldenHostRunsByteIdentical(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	cases := []struct {
+		name    string
+		cfg     Config
+		storage float64
+	}{
+		{"strict_default", Config{Mode: core.Strict}, 0},
+		{"fns_default", Config{Mode: core.FNS}, 0},
+		{"strict_ring1024", Config{Mode: core.Strict, RingPackets: 1024}, 0},
+		{"strict_storage8", Config{Mode: core.Strict}, 8},
+		{"fns_storage8", Config{Mode: core.FNS}, 8},
+		{"deferred_seed3", Config{Mode: core.Deferred, Seed: 3}, 0},
+	}
+	for _, c := range cases {
+		got := goldenRun(t, c.cfg, c.storage)
+		path := filepath.Join("testdata", "golden", c.name+".txt")
+		if update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with UPDATE_GOLDEN=1)", c.name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s diverged from golden file:\ngot:\n%s\nwant:\n%s",
+				c.name, got, string(want))
+		}
+	}
+}

@@ -3,12 +3,18 @@
 // protection domain, PCIe links, per-core CPU queues, DCTCP transport
 // endpoints) and an abstract remote host (infinitely fast CPU, no IOMMU).
 // All of the paper's experiments run through this package.
+//
+// The host owns exactly one IOMMU; DMA devices (the NIC datapath in
+// netdev.go, device.Storage, anything else implementing device.Device)
+// attach to it through AttachDevice or the Topology config, each with
+// its own protection domain over the shared translation hardware.
 package host
 
 import (
 	"fmt"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/device"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/mem"
 	"fastsafe/internal/nic"
@@ -28,7 +34,7 @@ type Config struct {
 	TxFlows         int // bulk flows out of the local host, one extra core each
 	MTU             int // data packet payload (default 4096)
 	RingPackets     int // Rx ring strides per core (default 256)
-	DescriptorPages int // pages per descriptor (default 64)
+	DescriptorPages int // pages per descriptor (64 on CX-5)
 
 	LinkGbps  float64      // NIC line rate (default 100)
 	PCIeGbps  float64      // PCIe serialisation cap (default 128)
@@ -36,8 +42,8 @@ type Config struct {
 	Lm        sim.Duration // fitted page-table read latency (default 197ns)
 	PropDelay sim.Duration // one-way propagation (default 2us)
 
-	NICBufferBytes int // NIC input buffer (default 2MB)
-	ECNKBytes      int // DCTCP marking threshold (default 100KB)
+	NICBufferBytes int // NIC input buffer (default 1MB)
+	ECNKBytes      int // DCTCP marking threshold (default 150KB)
 
 	StackCost sim.Duration // per-data-packet network-stack CPU (default 600ns)
 	IRQCost   sim.Duration // per-interrupt CPU cost charged when a delivery
@@ -54,6 +60,10 @@ type Config struct {
 	MemHogGBps float64 // co-tenant memory bandwidth antagonist (0 = none)
 	DDIO       bool    // DMA lands in LLC instead of DRAM (paper default: off)
 
+	// Topology attaches co-tenant DMA devices beyond the primary NIC,
+	// all sharing the host's IOMMU.
+	Topology Topology
+
 	Transport transport.Params
 	IOMMU     iommu.Config
 	Costs     core.CostModel
@@ -61,6 +71,21 @@ type Config struct {
 	TraceL3    bool
 	TraceLimit int
 	Seed       int64
+}
+
+// Topology describes the DMA devices attached to the host beyond the
+// primary NIC (which the flat Config fields configure). Every device
+// gets its own protection domain over the one shared IOMMU.
+type Topology struct {
+	NICs    []NICSpec     // additional NIC datapaths, each with its own wire pair
+	Storage []StorageSpec // NVMe-style storage controllers
+}
+
+// StorageSpec configures one storage device in a Topology.
+type StorageSpec struct {
+	ReadGBps   float64    // target block-read bandwidth (decimal GB/s)
+	BlockBytes int        // per-DMA block size (default 128KB)
+	Mode       *core.Mode // protection mode (nil = host Config.Mode)
 }
 
 func (c Config) withDefaults() Config {
@@ -129,55 +154,10 @@ func (c Config) withDefaults() Config {
 // mtuPages returns pages per MTU stride.
 func (c Config) mtuPages() int { return (c.MTU + ptable.PageSize - 1) / ptable.PageSize }
 
-// rxFlow couples a remote DCTCP sender with a local receiver.
-type rxFlow struct {
-	id         int
-	cpu        int
-	snd        *transport.Sender   // remote end
-	rcv        *transport.Receiver // local end
-	flushArmed bool                // delayed-ACK timer pending
-}
-
-// txFlow couples a local DCTCP sender with a remote receiver.
-type txFlow struct {
-	id  int
-	cpu int
-	snd *transport.Sender   // local end
-	rcv *transport.Receiver // remote end
-	// sendQueued bounds the CPU-queue work outstanding for this flow.
-	sendQueued int
-	flushArmed bool // delayed-ACK timer pending at the remote receiver
-}
-
-// Payload types carried in nic.Packet.Payload.
-type dataSeg struct { // remote -> local bulk data
-	flow int
-	seq  int64
-}
-type ackOut struct { // local ACK leaving for the remote sender
-	flow int
-	ack  transport.Ack
-}
-type txData struct { // local bulk data leaving for the remote receiver
-	flow int
-	seq  int64
-}
-type txAckIn struct { // remote ACK arriving for a local sender
-	flow int
-	ack  transport.Ack
-}
-
-// counters that the snapshot mechanism diffs across the warmup boundary.
-type hostCounters struct {
-	rxDeliveredBytes int64 // in-order transport deliveries into the local host
-	txDeliveredBytes int64 // local bulk data delivered in-order at the remote
-	acksSent         int64 // ACK packets generated locally
-}
-
 // Host is the simulated server pair.
 //
 // A Host is single-goroutine: construction and Run must happen on one
-// goroutine, and everything it owns (engine, domain, wires, cores,
+// goroutine, and everything it owns (engine, domains, wires, cores,
 // counters, RNGs) is reachable only through it. Distinct Hosts share no
 // mutable state — New takes no globals and registers nothing anywhere —
 // which is what lets internal/runner execute many simulations
@@ -186,110 +166,138 @@ type Host struct {
 	cfg Config
 	eng *sim.Engine
 
-	dom    *core.Domain
-	rx, tx *pcie.Link
-	dev    *nic.NIC
+	mmu *iommu.IOMMU // the one shared IOMMU every device translates through
 
-	toLocal  *Wire // remote -> local
-	toRemote *Wire // local -> remote
+	net     *netDev         // primary NIC (the measured datapath)
+	nets    []*netDev       // every NIC, primary first
+	devices []device.Device // all attached devices in attach order
 
 	cores []*Core
 
-	rxFlows []*rxFlow
-	txFlows []*txFlow
+	msgs   *msgApp // request/response machinery (nil unless installed)
+	walker *pcie.Walker
+	bus    *mem.Bus
 
-	msgs    *msgApp     // request/response machinery (nil unless installed)
-	storage *storageDev // co-tenant storage device (nil unless installed)
-	walker  *pcie.Walker
-	bus     *mem.Bus
-
-	lastDeferredFlush sim.Time
-	started           bool
-
-	c hostCounters
-}
-
-// execAdapter lets the NIC schedule driver work on host cores.
-type execAdapter struct{ h *Host }
-
-func (e execAdapter) Do(cpu int, work func() sim.Duration, done func()) {
-	e.h.core(cpu).Do(work, done)
+	storageCount int // storage devices attached so far (cpu/seed slots)
+	started      bool
 }
 
 // New builds the host per cfg. Additional cores are created on demand for
-// Tx flows and message streams.
+// Tx flows, app streams and co-tenant devices.
 func New(cfg Config) (*Host, error) {
 	cfg = cfg.withDefaults()
 	h := &Host{cfg: cfg, eng: sim.NewEngine(cfg.Seed)}
-	h.dom = core.NewDomain(core.Config{
-		Mode:            cfg.Mode,
-		NumCPUs:         cfg.Cores + cfg.TxFlows + 8, // slack for app cores
-		DescriptorPages: cfg.DescriptorPages,
-		Costs:           cfg.Costs,
-		IOMMU:           cfg.IOMMU,
-		TxFreeCPUShift:  1,    // Tx-completion IRQ lands on a neighbouring core
-		FreePoolSize:    8192, // app threads release buffers out of order
-		Seed:            cfg.Seed,
-		TraceL3:         cfg.TraceL3,
-		TraceLimit:      cfg.TraceLimit,
-	})
-	h.rx = pcie.New(h.eng, cfg.L0, cfg.Lm, cfg.PCIeGbps)
-	h.tx = pcie.New(h.eng, cfg.L0, cfg.Lm, cfg.PCIeGbps)
+	h.mmu = iommu.New(cfg.IOMMU)
 	h.walker = pcie.NewWalker(h.eng, cfg.Lm)
-	h.rx.AttachWalker(h.walker)
-	h.tx.AttachWalker(h.walker)
 	h.bus = mem.New(h.eng, mem.Config{})
 	h.walker.SetLatencyFactor(h.bus.LatencyFactor)
 	if cfg.MemHogGBps > 0 {
 		mem.NewHog(h.bus, cfg.MemHogGBps)
 	}
-	h.toLocal = NewWire(h.eng, cfg.LinkGbps, cfg.PropDelay)
-	h.toLocal.SetECN(cfg.ECNKBytes)
-	h.toRemote = NewWire(h.eng, cfg.LinkGbps, cfg.PropDelay)
-	h.toRemote.SetECN(cfg.ECNKBytes)
 
-	dev, err := nic.New(h.eng, nic.Config{
-		Cores:       cfg.Cores + cfg.TxFlows + 8,
-		MTU:         cfg.MTU,
-		RingPackets: cfg.RingPackets,
-		BufferBytes: cfg.NICBufferBytes,
-		ECNKBytes:   -1, // ECN marks come from the switch, not the NIC
-
-	}, h.dom, h.rx, h.tx, execAdapter{h})
-	if err != nil {
-		return nil, fmt.Errorf("host: %w", err)
+	// The primary NIC: built from the flat Config fields, attached first
+	// so its domain is the IOMMU's default domain 0.
+	primary := &netDev{
+		name: "nic0",
+		spec: NICSpec{
+			Cores:       cfg.Cores,
+			RxFlows:     cfg.RxFlows,
+			TxFlows:     cfg.TxFlows,
+			MTU:         cfg.MTU,
+			RingPackets: cfg.RingPackets,
+			LinkGbps:    cfg.LinkGbps,
+		},
+		mode:    cfg.Mode,
+		primary: true,
 	}
-	h.dev = dev
-	dev.OnDeliver = h.onDeliver
-	dev.OnTxDone = h.onTxDone
-
-	for i := 0; i < cfg.RxFlows; i++ {
-		h.rxFlows = append(h.rxFlows, &rxFlow{
-			id:  i,
-			cpu: i % cfg.Cores,
-			snd: transport.NewSender(cfg.Transport),
-			rcv: transport.NewReceiver(cfg.Transport),
-		})
+	if err := h.AttachDevice(primary); err != nil {
+		return nil, err
 	}
-	for j := 0; j < cfg.TxFlows; j++ {
-		h.txFlows = append(h.txFlows, &txFlow{
-			id:  j,
-			cpu: cfg.Cores + j,
-			snd: transport.NewSender(cfg.Transport),
-			rcv: transport.NewReceiver(cfg.Transport),
-		})
+
+	// Additional NICs land on their own core ranges, above the slots the
+	// primary datapath, app streams and storage devices use.
+	cpuBase := cfg.Cores + cfg.TxFlows + 8 + len(cfg.Topology.Storage)
+	for i, spec := range cfg.Topology.NICs {
+		spec := spec.resolve(cfg)
+		mode := cfg.Mode
+		if spec.Mode != nil {
+			mode = *spec.Mode
+		}
+		n := &netDev{
+			name:    fmt.Sprintf("nic%d", i+1),
+			spec:    spec,
+			mode:    mode,
+			cpuBase: cpuBase,
+			seedOff: 10000 + 1000*int64(i),
+		}
+		if err := h.AttachDevice(n); err != nil {
+			return nil, err
+		}
+		cpuBase += spec.Cores + spec.TxFlows + 8
+	}
+	for _, spec := range cfg.Topology.Storage {
+		if _, err := h.addStorage(spec); err != nil {
+			return nil, err
+		}
 	}
 	return h, nil
 }
 
-// Engine exposes the event engine (examples drive it directly).
+// AttachDevice attaches a DMA device sharing the host's IOMMU. Call
+// before Start; devices appear in per-device results in attach order.
+func (h *Host) AttachDevice(d device.Device) error {
+	if h.started {
+		return fmt.Errorf("host: AttachDevice(%s) after Start", d.Name())
+	}
+	if err := d.Attach(h); err != nil {
+		return err
+	}
+	h.devices = append(h.devices, d)
+	if n, ok := d.(*netDev); ok {
+		if h.net == nil {
+			h.net = n
+		}
+		h.nets = append(h.nets, n)
+	}
+	return nil
+}
+
+// Devices returns the attached devices in attach order (primary NIC
+// first).
+func (h *Host) Devices() []device.Device { return h.devices }
+
+// Engine implements device.Host (examples also drive it directly).
 func (h *Host) Engine() *sim.Engine { return h.eng }
 
-// Domain exposes the protection domain.
-func (h *Host) Domain() *core.Domain { return h.dom }
+// SharedIOMMU implements device.Host.
+func (h *Host) SharedIOMMU() *iommu.IOMMU { return h.mmu }
 
-// NIC exposes the device model.
-func (h *Host) NIC() *nic.NIC { return h.dev }
+// NewLink implements device.Host: a PCIe link with the host's fitted
+// latencies, attached to the shared walkers.
+func (h *Host) NewLink() *pcie.Link {
+	l := pcie.New(h.eng, h.cfg.L0, h.cfg.Lm, h.cfg.PCIeGbps)
+	l.AttachWalker(h.walker)
+	return l
+}
+
+// NewDomain implements device.Host: a protection domain over the shared
+// IOMMU, seeded deterministically per device.
+func (h *Host) NewDomain(cfg core.Config, seedOffset int64) *core.Domain {
+	cfg.SharedIOMMU = h.mmu
+	cfg.Seed = h.cfg.Seed + seedOffset
+	return core.NewDomain(cfg)
+}
+
+// Exec implements device.Host: schedule driver work on host core cpu.
+func (h *Host) Exec(cpu int, work func() sim.Duration, done func()) {
+	h.core(cpu).Do(work, done)
+}
+
+// Domain exposes the primary NIC's protection domain.
+func (h *Host) Domain() *core.Domain { return h.net.dom }
+
+// NIC exposes the primary NIC's device model.
+func (h *Host) NIC() *nic.NIC { return h.net.dev }
 
 func (h *Host) core(cpu int) *Core {
 	for len(h.cores) <= cpu {
@@ -308,37 +316,27 @@ func (h *Host) irqCost(cpu int) sim.Duration {
 	return 0
 }
 
-// stackCost returns the per-packet network-stack CPU cost, inflated for
-// large rings (prefetcher inefficiency, §4.4).
-func (h *Host) stackCost() sim.Duration {
-	c := float64(h.cfg.StackCost)
-	ring := float64(h.cfg.RingPackets)
-	for r := 256.0; r < ring; r *= 2 {
-		c += float64(h.cfg.StackCost) * h.cfg.RingCPUFactor
-	}
-	return sim.Duration(c)
-}
-
-// Start launches the configured bulk flows and the housekeeping timers.
+// Start launches the configured workloads and the housekeeping timers.
 // Idempotent: only the first call has effect (Run calls it internally).
+// Ordering is load-bearing for reproducibility: NIC flows (primary
+// first), then the message app, then the non-NIC devices — the exact
+// sequence the pre-device-layer host used.
 func (h *Host) Start() {
 	if h.started {
 		return
 	}
 	h.started = true
-	for i, f := range h.rxFlows {
-		f := f
-		h.eng.At(sim.Time(i)*sim.Microsecond, func() { h.pumpRxFlow(f) })
-	}
-	for j, f := range h.txFlows {
-		f := f
-		h.eng.At(sim.Time(j)*sim.Microsecond, func() { h.pumpTxFlow(f) })
+	for _, n := range h.nets {
+		n.Start()
 	}
 	if h.msgs != nil {
 		h.msgs.start()
 	}
-	if h.storage != nil {
-		h.storage.start()
+	for _, d := range h.devices {
+		if _, ok := d.(*netDev); ok {
+			continue
+		}
+		d.Start()
 	}
 	h.eng.After(200*sim.Microsecond, h.housekeeping)
 }
@@ -346,223 +344,27 @@ func (h *Host) Start() {
 // housekeeping fires RTO checks and delayed-ACK flushes.
 func (h *Host) housekeeping() {
 	now := h.eng.Now()
-	for _, f := range h.rxFlows {
-		if f.snd.MaybeTimeout(now) {
-			h.pumpRxFlow(f)
-		}
-		if ack := f.rcv.FlushAck(); ack != nil {
-			h.sendLocalAck(f.cpu, f.id, *ack)
-		}
-	}
-	for _, f := range h.txFlows {
-		if f.snd.MaybeTimeout(now) {
-			h.pumpTxFlow(f)
-		}
-		if ack := f.rcv.FlushAck(); ack != nil {
-			h.remoteAckToLocal(f, *ack)
-		}
+	for _, n := range h.nets {
+		n.flowHousekeeping(now)
 	}
 	if h.msgs != nil {
 		h.msgs.housekeeping(now)
 	}
-	// Linux lazy mode also flushes on a timer, not just the 256-entry
-	// threshold (10ms in the kernel).
-	if now-h.lastDeferredFlush >= 10*sim.Millisecond {
-		h.lastDeferredFlush = now
-		if cost := h.dom.FlushDeferred(); cost > 0 {
-			h.core(0).Do(func() sim.Duration { return cost }, nil)
-		}
+	for _, n := range h.nets {
+		n.deferredFlush(now)
 	}
 	h.eng.After(200*sim.Microsecond, h.housekeeping)
 }
 
-// pumpRxFlow lets the remote sender of flow f transmit while its window
-// allows. The remote host's CPU is not modelled (it is never the
-// bottleneck in the paper's receive-side experiments).
-func (h *Host) pumpRxFlow(f *rxFlow) {
-	for f.snd.CanSend() {
-		seq, _ := f.snd.NextSend()
-		f.snd.OnSent(seq, h.eng.Now())
-		seg := dataSeg{flow: f.id, seq: seq}
-		h.toLocal.Send(h.cfg.MTU, func(ecn bool) {
-			h.dev.Arrive(nic.Packet{CPU: f.cpu, Bytes: h.cfg.MTU, ECN: ecn, Payload: seg})
-		})
-	}
-}
-
-// pumpTxFlow lets a local sender enqueue packets: each transmission costs
-// CPU (stack + Tx mapping) and then a NIC Tx DMA.
-func (h *Host) pumpTxFlow(f *txFlow) {
-	for f.snd.CanSend() && f.sendQueued < 64 {
-		seq, _ := f.snd.NextSend()
-		f.snd.OnSent(seq, h.eng.Now())
-		f.sendQueued++
-		seg := txData{flow: f.id, seq: seq}
-		var m *core.TxMapping
-		h.core(f.cpu).Do(func() sim.Duration {
-			var cost sim.Duration = h.cfg.StackCost
-			tm, mc, err := h.dom.MapTx(f.cpu, h.cfg.mtuPages())
-			if err != nil {
-				panic(fmt.Sprintf("host: MapTx: %v", err))
-			}
-			m = tm
-			return cost + mc
-		}, func() {
-			f.sendQueued--
-			h.dev.SendTx(nic.Packet{CPU: f.cpu, Bytes: h.cfg.MTU, Payload: seg}, m)
-		})
-	}
-}
-
-// armRxFlush schedules a delayed-ACK flush for a local receiver, modelling
-// the ACK a real stack emits at the end of a NAPI batch.
-func (h *Host) armRxFlush(f *rxFlow) {
-	if f.flushArmed {
-		return
-	}
-	f.flushArmed = true
-	h.eng.After(h.cfg.DelAck, func() {
-		f.flushArmed = false
-		if ack := f.rcv.FlushAck(); ack != nil {
-			h.sendLocalAck(f.cpu, f.id, *ack)
-		}
-	})
-}
-
-// armTxFlush is armRxFlush's counterpart at the abstract remote receiver.
-func (h *Host) armTxFlush(f *txFlow) {
-	if f.flushArmed {
-		return
-	}
-	f.flushArmed = true
-	h.eng.After(h.cfg.DelAck, func() {
-		f.flushArmed = false
-		if ack := f.rcv.FlushAck(); ack != nil {
-			h.remoteAckToLocal(f, *ack)
-		}
-	})
-}
-
-// sendLocalAck emits an ACK for rx flow id from cpu: CPU work to build and
-// map it, then a NIC Tx DMA.
-func (h *Host) sendLocalAck(cpu, flow int, ack transport.Ack) {
-	var m *core.TxMapping
-	h.core(cpu).Do(func() sim.Duration {
-		tm, mc, err := h.dom.MapTx(cpu, 1)
-		if err != nil {
-			panic(fmt.Sprintf("host: MapTx(ack): %v", err))
-		}
-		m = tm
-		h.c.acksSent++
-		return h.cfg.AckTxCost + mc
-	}, func() {
-		h.dev.SendTx(nic.Packet{CPU: cpu, Bytes: 64, Payload: ackOut{flow, ack}}, m)
-	})
-}
-
-// remoteAckToLocal carries a remote receiver's ACK back into the local
-// host, where it arrives like any other packet (through the Rx datapath).
-func (h *Host) remoteAckToLocal(f *txFlow, ack transport.Ack) {
-	h.toLocal.Send(64, func(bool) {
-		h.dev.Arrive(nic.Packet{CPU: f.cpu, Bytes: 64, Payload: txAckIn{f.id, ack}})
-	})
-}
-
-// onDeliver handles a packet whose DMA into local memory completed.
-func (h *Host) onDeliver(pkt nic.Packet) {
-	// Memory traffic: the DMA write (unless DDIO lands it in LLC) plus the
-	// stack/application copying the payload in and out.
-	if !h.cfg.DDIO {
-		h.bus.Consume(pkt.Bytes)
-	}
-	h.bus.Consume(2 * pkt.Bytes)
-	switch p := pkt.Payload.(type) {
-	case dataSeg:
-		f := h.rxFlows[p.flow]
-		irq := h.irqCost(f.cpu)
-		var pendingAck *transport.Ack
-		h.core(f.cpu).Do(func() sim.Duration {
-			cost := irq + h.stackCost()
-			delivered, ack := f.rcv.OnData(p.seq, pkt.ECN)
-			h.c.rxDeliveredBytes += delivered * int64(h.cfg.MTU)
-			pendingAck = ack
-			return cost
-		}, func() {
-			if pendingAck != nil {
-				h.sendLocalAck(f.cpu, f.id, *pendingAck)
-			} else {
-				h.armRxFlush(f)
-			}
-		})
-
-	case txAckIn:
-		f := h.txFlows[p.flow]
-		h.core(f.cpu).Do(func() sim.Duration {
-			f.snd.OnAck(p.ack, h.eng.Now())
-			return h.cfg.AckRxCost
-		}, func() {
-			h.pumpTxFlow(f)
-		})
-
-	case msgSeg:
-		h.msgs.onDeliver(pkt, p)
-
-	default:
-		panic(fmt.Sprintf("host: unknown Rx payload %T", pkt.Payload))
-	}
-}
-
-// onTxDone handles completion of a local Tx DMA: the driver unmaps the
-// buffer (strict safety) and the packet goes onto the wire.
-func (h *Host) onTxDone(pkt nic.Packet, m *core.TxMapping) {
-	if !h.cfg.DDIO {
-		h.bus.Consume(pkt.Bytes) // the DMA read
-	}
-	if m != nil {
-		h.core(pkt.CPU).Do(func() sim.Duration {
-			cost, err := h.dom.UnmapTx(m)
-			if err != nil {
-				panic(fmt.Sprintf("host: UnmapTx: %v", err))
-			}
-			return cost
-		}, nil)
-	}
-	switch p := pkt.Payload.(type) {
-	case ackOut:
-		f := h.rxFlows[p.flow]
-		h.toRemote.Send(pkt.Bytes, func(bool) {
-			f.snd.OnAck(p.ack, h.eng.Now())
-			h.pumpRxFlow(f)
-		})
-
-	case txData:
-		f := h.txFlows[p.flow]
-		h.toRemote.Send(pkt.Bytes, func(ecn bool) {
-			delivered, ack := f.rcv.OnData(p.seq, ecn)
-			h.c.txDeliveredBytes += delivered * int64(h.cfg.MTU)
-			if ack != nil {
-				h.remoteAckToLocal(f, *ack)
-			} else {
-				h.armTxFlush(f)
-			}
-		})
-
-	case msgSeg:
-		h.msgs.onTxDone(pkt, p)
-
-	default:
-		panic(fmt.Sprintf("host: unknown Tx payload %T", pkt.Payload))
-	}
-}
-
 // DebugFlows reports mean cwnd, mean alpha, mean inflight and total
-// timeouts/retransmits across the bulk Rx flows (diagnostics).
+// timeouts/retransmits across the primary NIC's bulk Rx flows
+// (diagnostics).
 func (h *Host) DebugFlows() (cwnd, alpha, inflight float64, timeouts, rtx int64) {
-	n := float64(len(h.rxFlows))
+	n := float64(len(h.net.rxFlows))
 	if n == 0 {
 		return
 	}
-	for _, f := range h.rxFlows {
+	for _, f := range h.net.rxFlows {
 		cwnd += f.snd.Cwnd()
 		alpha += f.snd.Alpha()
 		inflight += float64(f.snd.Inflight())

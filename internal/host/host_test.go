@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/device"
 	"fastsafe/internal/sim"
 )
 
@@ -433,7 +434,7 @@ func TestStorageCoTenantPollutesStrictNotFNS(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var dev *storageDev
+		var dev *device.Storage
 		if gbps > 0 {
 			dev = h.InstallStorage(StorageConfig{ReadGBps: gbps})
 		}

@@ -181,8 +181,8 @@ func (a *msgApp) sendRequest(s *msgStream, m int64) {
 		for i := 0; i < n; i++ {
 			seg := msgSeg{stream: s.id, msg: m, idx: i, count: n,
 				bytes: segBytes(a.cfg.ReqBytes, a.h.cfg.MTU, i), req: true}
-			a.h.toLocal.Send(seg.bytes, func(ecn bool) {
-				a.h.dev.Arrive(nic.Packet{CPU: s.cpu, Bytes: seg.bytes, ECN: ecn, Payload: seg})
+			a.h.net.toLocal.Send(seg.bytes, func(ecn bool) {
+				a.h.net.dev.Arrive(nic.Packet{CPU: s.cpu, Bytes: seg.bytes, ECN: ecn, Payload: seg})
 			})
 		}
 	case LocalClient:
@@ -200,14 +200,14 @@ func (a *msgApp) sendLocalSeg(s *msgStream, seg msgSeg) {
 	pages := (seg.bytes + 4095) / 4096
 	var m *core.TxMapping
 	a.h.core(s.cpu).Do(func() sim.Duration {
-		tm, mc, err := a.h.dom.MapTx(s.cpu, pages)
+		tm, mc, err := a.h.net.dom.MapTx(s.cpu, pages)
 		if err != nil {
 			panic(fmt.Sprintf("host: MapTx(msg): %v", err))
 		}
 		m = tm
 		return a.h.cfg.AckTxCost + mc
 	}, func() {
-		a.h.dev.SendTx(nic.Packet{CPU: s.cpu, Bytes: seg.bytes, Payload: seg}, m)
+		a.h.net.dev.SendTx(nic.Packet{CPU: s.cpu, Bytes: seg.bytes, Payload: seg}, m)
 	})
 }
 
@@ -215,7 +215,7 @@ func (a *msgApp) sendLocalSeg(s *msgStream, seg msgSeg) {
 func (a *msgApp) onDeliver(pkt nic.Packet, seg msgSeg) {
 	s := a.streams[seg.stream]
 	a.h.core(s.cpu).Do(func() sim.Duration {
-		cost := a.h.stackCost()
+		cost := a.h.net.stackCost()
 		switch a.cfg.Pattern {
 		case LocalServes:
 			if !seg.req {
@@ -285,7 +285,7 @@ func (a *msgApp) respond(s *msgStream, m int64) sim.Duration {
 // onTxDone routes a locally-sent segment onto the wire toward the remote.
 func (a *msgApp) onTxDone(pkt nic.Packet, seg msgSeg) {
 	s := a.streams[seg.stream]
-	a.h.toRemote.Send(pkt.Bytes, func(bool) {
+	a.h.net.toRemote.Send(pkt.Bytes, func(bool) {
 		a.remoteReceive(s, seg)
 	})
 }
@@ -316,8 +316,8 @@ func (a *msgApp) remoteReceive(s *msgStream, seg msgSeg) {
 			for i := 0; i < n; i++ {
 				rseg := msgSeg{stream: s.id, msg: seg.msg, idx: i, count: n,
 					bytes: segBytes(a.cfg.RespBytes, a.h.cfg.MTU, i), req: false}
-				a.h.toLocal.Send(rseg.bytes, func(ecn bool) {
-					a.h.dev.Arrive(nic.Packet{CPU: s.cpu, Bytes: rseg.bytes, ECN: ecn, Payload: rseg})
+				a.h.net.toLocal.Send(rseg.bytes, func(ecn bool) {
+					a.h.net.dev.Arrive(nic.Packet{CPU: s.cpu, Bytes: rseg.bytes, ECN: ecn, Payload: rseg})
 				})
 			}
 		}

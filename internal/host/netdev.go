@@ -1,0 +1,461 @@
+package host
+
+import (
+	"fmt"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/device"
+	"fastsafe/internal/nic"
+	"fastsafe/internal/pcie"
+	"fastsafe/internal/ptable"
+	"fastsafe/internal/sim"
+	"fastsafe/internal/transport"
+)
+
+// The NIC reference implementation of device.Device: the full §2.1
+// network datapath — rings, Rx/Tx PCIe links, wire pair to an abstract
+// remote host, DCTCP bulk flows — packaged so a Topology can attach any
+// number of them to one host, each with its own protection domain over
+// the shared IOMMU.
+
+// NICSpec configures one NIC device in a Topology. Zero fields inherit
+// the host Config's corresponding value; Mode is a pointer so that an
+// explicit Off (a bypass device) is distinguishable from "inherit".
+type NICSpec struct {
+	Mode        *core.Mode // protection mode (nil = host Config.Mode)
+	Cores       int        // cores serving bulk Rx flows
+	RxFlows     int        // bulk flows in (-1 = none, 0 = Cores)
+	TxFlows     int        // bulk flows out, one extra core each
+	MTU         int        // data packet payload
+	RingPackets int        // Rx ring strides per core
+	LinkGbps    float64    // line rate of this NIC's wire pair
+}
+
+// resolve fills zero fields from the host config.
+func (s NICSpec) resolve(cfg Config) NICSpec {
+	if s.Cores <= 0 {
+		s.Cores = cfg.Cores
+	}
+	if s.RxFlows < 0 {
+		s.RxFlows = 0
+	} else if s.RxFlows == 0 {
+		s.RxFlows = s.Cores
+	}
+	if s.TxFlows < 0 {
+		s.TxFlows = 0
+	}
+	if s.MTU <= 0 {
+		s.MTU = cfg.MTU
+	}
+	if s.RingPackets <= 0 {
+		s.RingPackets = cfg.RingPackets
+	}
+	if s.LinkGbps <= 0 {
+		s.LinkGbps = cfg.LinkGbps
+	}
+	return s
+}
+
+// rxFlow couples a remote DCTCP sender with a local receiver.
+type rxFlow struct {
+	id         int
+	cpu        int                 // device-local core index
+	snd        *transport.Sender   // remote end
+	rcv        *transport.Receiver // local end
+	flushArmed bool                // delayed-ACK timer pending
+}
+
+// txFlow couples a local DCTCP sender with a remote receiver.
+type txFlow struct {
+	id  int
+	cpu int                 // device-local core index
+	snd *transport.Sender   // local end
+	rcv *transport.Receiver // remote end
+	// sendQueued bounds the CPU-queue work outstanding for this flow.
+	sendQueued int
+	flushArmed bool // delayed-ACK timer pending at the remote receiver
+}
+
+// Payload types carried in nic.Packet.Payload.
+type dataSeg struct { // remote -> local bulk data
+	flow int
+	seq  int64
+}
+type ackOut struct { // local ACK leaving for the remote sender
+	flow int
+	ack  transport.Ack
+}
+type txData struct { // local bulk data leaving for the remote receiver
+	flow int
+	seq  int64
+}
+type txAckIn struct { // remote ACK arriving for a local sender
+	flow int
+	ack  transport.Ack
+}
+
+// counters that the snapshot mechanism diffs across the warmup boundary.
+type hostCounters struct {
+	rxDeliveredBytes int64 // in-order transport deliveries into the local host
+	txDeliveredBytes int64 // local bulk data delivered in-order at the remote
+	acksSent         int64 // ACK packets generated locally
+}
+
+// netDev is one NIC attached to the host. Flow cpu indices are
+// device-local (0-based); cpuBase maps them onto host cores, so the
+// primary NIC (cpuBase 0) keeps the legacy core layout and additional
+// NICs land on their own core range.
+type netDev struct {
+	h       *Host
+	name    string
+	spec    NICSpec
+	mode    core.Mode
+	cpuBase int
+	seedOff int64
+	primary bool
+
+	dom    *core.Domain
+	rx, tx *pcie.Link
+	dev    *nic.NIC
+
+	toLocal  *Wire // remote -> local
+	toRemote *Wire // local -> remote
+
+	rxFlows []*rxFlow
+	txFlows []*txFlow
+
+	lastDeferredFlush sim.Time
+
+	c hostCounters
+}
+
+// netExec lets the NIC schedule driver work on host cores, offsetting
+// the device-local ring index by the device's core base.
+type netExec struct{ n *netDev }
+
+func (e netExec) Do(cpu int, work func() sim.Duration, done func()) {
+	e.n.h.core(e.n.cpuBase+cpu).Do(work, done)
+}
+
+// Name implements device.Device.
+func (n *netDev) Name() string { return n.name }
+
+// Kind implements device.Device.
+func (n *netDev) Kind() string { return "nic" }
+
+// Domain implements device.Device.
+func (n *netDev) Domain() *core.Domain { return n.dom }
+
+// Stats implements device.Device: bulk payload delivered in order on
+// either side of this NIC's wire pair.
+func (n *netDev) Stats() device.Stats {
+	st := n.dev.Stats()
+	return device.Stats{
+		Ops:   st.RxDMAs + st.TxDMAs,
+		Bytes: n.c.rxDeliveredBytes + n.c.txDeliveredBytes,
+	}
+}
+
+// Attach implements device.Device. The NIC datapath needs the concrete
+// host (cores, config, message dispatch), not just the device.Host
+// surface.
+func (n *netDev) Attach(dh device.Host) error {
+	h, ok := dh.(*Host)
+	if !ok {
+		return fmt.Errorf("host: netDev must attach to *host.Host, got %T", dh)
+	}
+	n.h = h
+	cfg := h.cfg
+	n.dom = h.NewDomain(core.Config{
+		Mode:            n.mode,
+		NumCPUs:         n.spec.Cores + n.spec.TxFlows + 8, // slack for app cores
+		DescriptorPages: cfg.DescriptorPages,
+		Costs:           cfg.Costs,
+		TxFreeCPUShift:  1,    // Tx-completion IRQ lands on a neighbouring core
+		FreePoolSize:    8192, // app threads release buffers out of order
+		// The primary NIC takes the IOMMU's default domain 0, keeping the
+		// legacy single-NIC cache indexing bit-for-bit.
+		DefaultDomain: n.primary,
+		TraceL3:       cfg.TraceL3 && n.primary,
+		TraceLimit:    cfg.TraceLimit,
+	}, n.seedOff)
+	n.rx = h.NewLink()
+	n.tx = h.NewLink()
+	n.toLocal = NewWire(h.eng, n.spec.LinkGbps, cfg.PropDelay)
+	n.toLocal.SetECN(cfg.ECNKBytes)
+	n.toRemote = NewWire(h.eng, n.spec.LinkGbps, cfg.PropDelay)
+	n.toRemote.SetECN(cfg.ECNKBytes)
+
+	dev, err := nic.New(h.eng, nic.Config{
+		Cores:       n.spec.Cores + n.spec.TxFlows + 8,
+		MTU:         n.spec.MTU,
+		RingPackets: n.spec.RingPackets,
+		BufferBytes: cfg.NICBufferBytes,
+		ECNKBytes:   -1, // ECN marks come from the switch, not the NIC
+
+	}, n.dom, n.rx, n.tx, netExec{n})
+	if err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	n.dev = dev
+	dev.OnDeliver = n.onDeliver
+	dev.OnTxDone = n.onTxDone
+
+	for i := 0; i < n.spec.RxFlows; i++ {
+		n.rxFlows = append(n.rxFlows, &rxFlow{
+			id:  i,
+			cpu: i % n.spec.Cores,
+			snd: transport.NewSender(cfg.Transport),
+			rcv: transport.NewReceiver(cfg.Transport),
+		})
+	}
+	for j := 0; j < n.spec.TxFlows; j++ {
+		n.txFlows = append(n.txFlows, &txFlow{
+			id:  j,
+			cpu: n.spec.Cores + j,
+			snd: transport.NewSender(cfg.Transport),
+			rcv: transport.NewReceiver(cfg.Transport),
+		})
+	}
+	return nil
+}
+
+// Start implements device.Device: launch the configured bulk flows.
+func (n *netDev) Start() {
+	for i, f := range n.rxFlows {
+		f := f
+		n.h.eng.At(sim.Time(i)*sim.Microsecond, func() { n.pumpRxFlow(f) })
+	}
+	for j, f := range n.txFlows {
+		f := f
+		n.h.eng.At(sim.Time(j)*sim.Microsecond, func() { n.pumpTxFlow(f) })
+	}
+}
+
+// mtuPages returns pages per MTU stride of this NIC.
+func (n *netDev) mtuPages() int { return (n.spec.MTU + ptable.PageSize - 1) / ptable.PageSize }
+
+// stackCost returns the per-packet network-stack CPU cost, inflated for
+// large rings (prefetcher inefficiency, §4.4).
+func (n *netDev) stackCost() sim.Duration {
+	c := float64(n.h.cfg.StackCost)
+	ring := float64(n.spec.RingPackets)
+	for r := 256.0; r < ring; r *= 2 {
+		c += float64(n.h.cfg.StackCost) * n.h.cfg.RingCPUFactor
+	}
+	return sim.Duration(c)
+}
+
+// flowHousekeeping fires RTO checks and delayed-ACK flushes for this
+// NIC's flows.
+func (n *netDev) flowHousekeeping(now sim.Time) {
+	for _, f := range n.rxFlows {
+		if f.snd.MaybeTimeout(now) {
+			n.pumpRxFlow(f)
+		}
+		if ack := f.rcv.FlushAck(); ack != nil {
+			n.sendLocalAck(f.cpu, f.id, *ack)
+		}
+	}
+	for _, f := range n.txFlows {
+		if f.snd.MaybeTimeout(now) {
+			n.pumpTxFlow(f)
+		}
+		if ack := f.rcv.FlushAck(); ack != nil {
+			n.remoteAckToLocal(f, *ack)
+		}
+	}
+}
+
+// deferredFlush is the deferred-mode timer flush of this NIC's domain.
+// Linux lazy mode also flushes on a timer, not just the 256-entry
+// threshold (10ms in the kernel).
+func (n *netDev) deferredFlush(now sim.Time) {
+	if now-n.lastDeferredFlush >= 10*sim.Millisecond {
+		n.lastDeferredFlush = now
+		if cost := n.dom.FlushDeferred(); cost > 0 {
+			n.h.core(n.cpuBase).Do(func() sim.Duration { return cost }, nil)
+		}
+	}
+}
+
+// pumpRxFlow lets the remote sender of flow f transmit while its window
+// allows. The remote host's CPU is not modelled (it is never the
+// bottleneck in the paper's receive-side experiments).
+func (n *netDev) pumpRxFlow(f *rxFlow) {
+	for f.snd.CanSend() {
+		seq, _ := f.snd.NextSend()
+		f.snd.OnSent(seq, n.h.eng.Now())
+		seg := dataSeg{flow: f.id, seq: seq}
+		n.toLocal.Send(n.spec.MTU, func(ecn bool) {
+			n.dev.Arrive(nic.Packet{CPU: f.cpu, Bytes: n.spec.MTU, ECN: ecn, Payload: seg})
+		})
+	}
+}
+
+// pumpTxFlow lets a local sender enqueue packets: each transmission costs
+// CPU (stack + Tx mapping) and then a NIC Tx DMA.
+func (n *netDev) pumpTxFlow(f *txFlow) {
+	for f.snd.CanSend() && f.sendQueued < 64 {
+		seq, _ := f.snd.NextSend()
+		f.snd.OnSent(seq, n.h.eng.Now())
+		f.sendQueued++
+		seg := txData{flow: f.id, seq: seq}
+		var m *core.TxMapping
+		n.h.core(n.cpuBase+f.cpu).Do(func() sim.Duration {
+			var cost sim.Duration = n.h.cfg.StackCost
+			tm, mc, err := n.dom.MapTx(f.cpu, n.mtuPages())
+			if err != nil {
+				panic(fmt.Sprintf("host: MapTx: %v", err))
+			}
+			m = tm
+			return cost + mc
+		}, func() {
+			f.sendQueued--
+			n.dev.SendTx(nic.Packet{CPU: f.cpu, Bytes: n.spec.MTU, Payload: seg}, m)
+		})
+	}
+}
+
+// armRxFlush schedules a delayed-ACK flush for a local receiver, modelling
+// the ACK a real stack emits at the end of a NAPI batch.
+func (n *netDev) armRxFlush(f *rxFlow) {
+	if f.flushArmed {
+		return
+	}
+	f.flushArmed = true
+	n.h.eng.After(n.h.cfg.DelAck, func() {
+		f.flushArmed = false
+		if ack := f.rcv.FlushAck(); ack != nil {
+			n.sendLocalAck(f.cpu, f.id, *ack)
+		}
+	})
+}
+
+// armTxFlush is armRxFlush's counterpart at the abstract remote receiver.
+func (n *netDev) armTxFlush(f *txFlow) {
+	if f.flushArmed {
+		return
+	}
+	f.flushArmed = true
+	n.h.eng.After(n.h.cfg.DelAck, func() {
+		f.flushArmed = false
+		if ack := f.rcv.FlushAck(); ack != nil {
+			n.remoteAckToLocal(f, *ack)
+		}
+	})
+}
+
+// sendLocalAck emits an ACK for rx flow id from the device-local core
+// cpu: CPU work to build and map it, then a NIC Tx DMA.
+func (n *netDev) sendLocalAck(cpu, flow int, ack transport.Ack) {
+	var m *core.TxMapping
+	n.h.core(n.cpuBase+cpu).Do(func() sim.Duration {
+		tm, mc, err := n.dom.MapTx(cpu, 1)
+		if err != nil {
+			panic(fmt.Sprintf("host: MapTx(ack): %v", err))
+		}
+		m = tm
+		n.c.acksSent++
+		return n.h.cfg.AckTxCost + mc
+	}, func() {
+		n.dev.SendTx(nic.Packet{CPU: cpu, Bytes: 64, Payload: ackOut{flow, ack}}, m)
+	})
+}
+
+// remoteAckToLocal carries a remote receiver's ACK back into the local
+// host, where it arrives like any other packet (through the Rx datapath).
+func (n *netDev) remoteAckToLocal(f *txFlow, ack transport.Ack) {
+	n.toLocal.Send(64, func(bool) {
+		n.dev.Arrive(nic.Packet{CPU: f.cpu, Bytes: 64, Payload: txAckIn{f.id, ack}})
+	})
+}
+
+// onDeliver handles a packet whose DMA into local memory completed.
+func (n *netDev) onDeliver(pkt nic.Packet) {
+	h := n.h
+	// Memory traffic: the DMA write (unless DDIO lands it in LLC) plus the
+	// stack/application copying the payload in and out.
+	if !h.cfg.DDIO {
+		h.bus.Consume(pkt.Bytes)
+	}
+	h.bus.Consume(2 * pkt.Bytes)
+	switch p := pkt.Payload.(type) {
+	case dataSeg:
+		f := n.rxFlows[p.flow]
+		irq := h.irqCost(n.cpuBase + f.cpu)
+		var pendingAck *transport.Ack
+		h.core(n.cpuBase+f.cpu).Do(func() sim.Duration {
+			cost := irq + n.stackCost()
+			delivered, ack := f.rcv.OnData(p.seq, pkt.ECN)
+			n.c.rxDeliveredBytes += delivered * int64(n.spec.MTU)
+			pendingAck = ack
+			return cost
+		}, func() {
+			if pendingAck != nil {
+				n.sendLocalAck(f.cpu, f.id, *pendingAck)
+			} else {
+				n.armRxFlush(f)
+			}
+		})
+
+	case txAckIn:
+		f := n.txFlows[p.flow]
+		h.core(n.cpuBase+f.cpu).Do(func() sim.Duration {
+			f.snd.OnAck(p.ack, h.eng.Now())
+			return h.cfg.AckRxCost
+		}, func() {
+			n.pumpTxFlow(f)
+		})
+
+	case msgSeg:
+		h.msgs.onDeliver(pkt, p)
+
+	default:
+		panic(fmt.Sprintf("host: unknown Rx payload %T", pkt.Payload))
+	}
+}
+
+// onTxDone handles completion of a local Tx DMA: the driver unmaps the
+// buffer (strict safety) and the packet goes onto the wire.
+func (n *netDev) onTxDone(pkt nic.Packet, m *core.TxMapping) {
+	h := n.h
+	if !h.cfg.DDIO {
+		h.bus.Consume(pkt.Bytes) // the DMA read
+	}
+	if m != nil {
+		h.core(n.cpuBase+pkt.CPU).Do(func() sim.Duration {
+			cost, err := n.dom.UnmapTx(m)
+			if err != nil {
+				panic(fmt.Sprintf("host: UnmapTx: %v", err))
+			}
+			return cost
+		}, nil)
+	}
+	switch p := pkt.Payload.(type) {
+	case ackOut:
+		f := n.rxFlows[p.flow]
+		n.toRemote.Send(pkt.Bytes, func(bool) {
+			f.snd.OnAck(p.ack, h.eng.Now())
+			n.pumpRxFlow(f)
+		})
+
+	case txData:
+		f := n.txFlows[p.flow]
+		n.toRemote.Send(pkt.Bytes, func(ecn bool) {
+			delivered, ack := f.rcv.OnData(p.seq, ecn)
+			n.c.txDeliveredBytes += delivered * int64(n.spec.MTU)
+			if ack != nil {
+				n.remoteAckToLocal(f, *ack)
+			} else {
+				n.armTxFlush(f)
+			}
+		})
+
+	case msgSeg:
+		h.msgs.onTxDone(pkt, p)
+
+	default:
+		panic(fmt.Sprintf("host: unknown Tx payload %T", pkt.Payload))
+	}
+}

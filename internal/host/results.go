@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/device"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/nic"
 	"fastsafe/internal/sim"
@@ -14,7 +15,10 @@ import (
 // Results is the measurement of one experiment window, normalised the way
 // the paper reports: cache misses per 4KB page worth of delivered data,
 // drop rates as a fraction of arrivals, throughput as application-level
-// goodput.
+// goodput. The top-level fields describe the primary NIC — the measured
+// datapath — exactly as they did before the device layer existed;
+// Devices carries the per-device breakdown across every attached DMA
+// device.
 type Results struct {
 	Mode    core.Mode
 	Measure sim.Duration
@@ -52,7 +56,26 @@ type Results struct {
 	MsgRetries int64
 	Latency    *stats.Histogram // exchange latency (ns), nil without messages
 
+	// Devices is the per-device breakdown, in attach order (primary NIC
+	// first). Summing each device's share of the shared-IOMMU counters
+	// reproduces the global counters exactly.
+	Devices []DeviceResults
+
 	Trace *stats.ReuseTrace // PTcache-L3 locality trace, nil unless enabled
+}
+
+// DeviceResults is one attached device's share of the measurement
+// window: its own goodput and its slice of the shared IOMMU's work,
+// attributed by protection domain.
+type DeviceResults struct {
+	Name string
+	Kind string // "nic", "storage", ...
+	Mode core.Mode
+
+	GoodputGbps   float64 // payload the device moved in the window
+	MissesPerPage float64 // shared-IOTLB misses per 4KB page of that payload
+	WalkReads     int64   // page-table memory reads its translations caused
+	Invalidations int64   // invalidation requests its domain submitted
 }
 
 // Percentiles returns P50/P90/P99/P99.9/P99.99 exchange latencies in ns.
@@ -77,6 +100,26 @@ func (r Results) String() string {
 	return b.String()
 }
 
+// DeviceTable renders the per-device breakdown, one line per device.
+func (r Results) DeviceTable() string {
+	var b strings.Builder
+	for i, d := range r.Devices {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %-14s goodput=%6.1fGbps miss/pg=%6.2f walk_reads=%9d inv=%9d",
+			d.Name, d.Kind, d.Mode, d.GoodputGbps, d.MissesPerPage,
+			d.WalkReads, d.Invalidations)
+	}
+	return b.String()
+}
+
+// devSnap is one device's slice of the counters at a window boundary.
+type devSnap struct {
+	mmu iommu.Counters // the device domain's share of the shared IOMMU
+	st  device.Stats
+}
+
 // snapshot captures every counter the measurement window diffs.
 type snapshot struct {
 	at      sim.Time
@@ -84,6 +127,7 @@ type snapshot struct {
 	dom     core.Counters
 	nicSt   nic.Stats
 	hostC   hostCounters
+	devs    []devSnap
 	coreBsy []sim.Duration
 	rxBusy  sim.Duration
 	rxReads int64
@@ -98,22 +142,28 @@ type snapshot struct {
 func (h *Host) snap() snapshot {
 	s := snapshot{
 		at:    h.eng.Now(),
-		mmu:   h.dom.IOMMU().Counters(),
-		dom:   h.dom.Counters(),
-		nicSt: h.dev.Stats(),
-		hostC: h.c,
+		mmu:   h.mmu.Counters(),
+		dom:   h.net.dom.Counters(),
+		nicSt: h.net.dev.Stats(),
+		hostC: h.net.c,
+	}
+	for _, d := range h.devices {
+		s.devs = append(s.devs, devSnap{
+			mmu: h.mmu.CountersOf(d.Domain().ID()),
+			st:  d.Stats(),
+		})
 	}
 	for _, c := range h.cores {
 		s.coreBsy = append(s.coreBsy, c.BusyTime())
 	}
-	s.rxBusy = h.rx.Stats().BusyTime
-	s.rxReads = h.rx.Stats().MemReads
-	s.rxDMAs = h.rx.Stats().DMAs
-	for _, f := range h.rxFlows {
+	s.rxBusy = h.net.rx.Stats().BusyTime
+	s.rxReads = h.net.rx.Stats().MemReads
+	s.rxDMAs = h.net.rx.Stats().DMAs
+	for _, f := range h.net.rxFlows {
 		s.sndRtx += f.snd.Stats().Retransmits
 		s.sndTo += f.snd.Stats().Timeouts
 	}
-	for _, f := range h.txFlows {
+	for _, f := range h.net.txFlows {
 		s.sndRtx += f.snd.Stats().Retransmits
 		s.sndTo += f.snd.Stats().Timeouts
 	}
@@ -199,7 +249,7 @@ func (h *Host) results(before, after snapshot) Results {
 			r.MaxCPUUtil = u
 		}
 	}
-	r.PCIeRxUtil = float64(h.rx.Stats().BusyTime-before.rxBusy) / float64(dt)
+	r.PCIeRxUtil = float64(h.net.rx.Stats().BusyTime-before.rxBusy) / float64(dt)
 	r.MemUtil = h.bus.Utilization()
 
 	r.StaleIOTLB = after.mmu.StaleIOTLBUses - before.mmu.StaleIOTLBUses
@@ -212,6 +262,25 @@ func (h *Host) results(before, after snapshot) Results {
 	if h.msgs != nil {
 		r.Latency = &h.msgs.latency
 	}
-	r.Trace = h.dom.Trace()
+
+	for i, d := range h.devices {
+		var b devSnap
+		if i < len(before.devs) {
+			b = before.devs[i]
+		}
+		a := after.devs[i]
+		bytes := a.st.Bytes - b.st.Bytes
+		r.Devices = append(r.Devices, DeviceResults{
+			Name:          d.Name(),
+			Kind:          d.Kind(),
+			Mode:          d.Domain().Mode(),
+			GoodputGbps:   stats.Gbps(bytes, int64(dt)),
+			MissesPerPage: stats.PerPage(a.mmu.IOTLBMisses-b.mmu.IOTLBMisses, bytes),
+			WalkReads:     a.mmu.MemReads - b.mmu.MemReads,
+			Invalidations: a.mmu.InvRequests - b.mmu.InvRequests,
+		})
+	}
+
+	r.Trace = h.net.dom.Trace()
 	return r
 }

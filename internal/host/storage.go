@@ -3,110 +3,53 @@ package host
 import (
 	"fmt"
 
-	"fastsafe/internal/core"
-	"fastsafe/internal/pcie"
-	"fastsafe/internal/ptable"
-	"fastsafe/internal/sim"
+	"fastsafe/internal/device"
 )
 
-// Storage-device co-tenancy. A second DMA device (an NVMe-style storage
-// controller) shares the host's IOMMU with the NIC: same IOTLB, same
-// page-table caches, same walkers, same IOVA allocator. Its block DMAs
-// are mapped and unmapped through the same protection mode as the NIC's
-// traffic, so under strict mode its per-block invalidations pollute the
-// caches the network datapath depends on — the cross-device interference
-// production deployments observe (the "violation of isolation guarantees"
-// motivation in §1). Under F&S the storage traffic uses contiguous chunks
-// and IOTLB-only invalidations, so the pollution collapses.
+// Storage-device co-tenancy. The NVMe-style controller itself lives in
+// internal/device (it is the second reference implementation of
+// device.Device); this file is the host-side attachment glue: core and
+// seed slot assignment, mode inheritance, and the pre-device-layer
+// InstallStorage entry point.
 
-// storageDev issues blockBytes-sized read DMAs at a fixed rate through
-// its own PCIe link, with translations through the shared IOMMU.
-type storageDev struct {
-	h          *Host
-	dom        *core.Domain // own protection domain, shared IOMMU
-	link       *pcie.Link
-	cpu        int
-	blockBytes int
-	interval   sim.Duration
-	blocks     int64
-	bytes      int64
-}
+// StorageConfig attaches a storage device to the host; it is the same
+// shape a Topology carries.
+type StorageConfig = StorageSpec
 
-// StorageConfig attaches a storage device to the host.
-type StorageConfig struct {
-	ReadGBps   float64 // target block-read bandwidth (decimal GB/s)
-	BlockBytes int     // per-DMA block size (default 128KB)
-}
-
-// InstallStorage attaches a storage device sharing the IOMMU. Call before
-// Start.
-func (h *Host) InstallStorage(cfg StorageConfig) *storageDev {
-	if cfg.BlockBytes <= 0 {
-		cfg.BlockBytes = 128 << 10
+// InstallStorage attaches a storage device sharing the IOMMU. Call
+// before Start. Devices the Topology config declares are installed by
+// New; this entry point adds more afterwards. Panics on a nonsensical
+// config (non-positive ReadGBps) — the facade validates before it gets
+// here.
+func (h *Host) InstallStorage(cfg StorageConfig) *device.Storage {
+	s, err := h.addStorage(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("host: InstallStorage: %v", err))
 	}
-	link := pcie.New(h.eng, h.cfg.L0, h.cfg.Lm, h.cfg.PCIeGbps)
-	link.AttachWalker(h.walker)
-	dom := core.NewDomain(core.Config{
-		Mode:        h.cfg.Mode,
-		NumCPUs:     1,
-		SharedIOMMU: h.dom.IOMMU(),
-		Seed:        h.cfg.Seed + 1000,
-	})
-	interval := sim.Duration(float64(cfg.BlockBytes) / cfg.ReadGBps)
-	s := &storageDev{
-		h:          h,
-		dom:        dom,
-		link:       link,
-		cpu:        h.cfg.Cores + h.cfg.TxFlows + 1, // own core
-		blockBytes: cfg.BlockBytes,
-		interval:   interval,
-	}
-	h.storage = s
 	return s
 }
 
-// Blocks returns completed block DMAs.
-func (s *storageDev) Blocks() int64 { return s.blocks }
-
-// start begins the periodic block stream.
-func (s *storageDev) start() {
-	s.h.eng.After(s.interval, s.issue)
-}
-
-// issue maps one block, translates and DMAs it, and unmaps on completion —
-// the storage driver's strict-safety datapath, sharing every IOMMU
-// structure with the NIC.
-func (s *storageDev) issue() {
-	pages := (s.blockBytes + 4095) / 4096
-	var m *core.TxMapping
-	s.h.core(s.cpu).Do(func() sim.Duration {
-		tm, mc, err := s.dom.MapTx(0, pages)
-		if err != nil {
-			panic(fmt.Sprintf("host: storage MapTx: %v", err))
-		}
-		m = tm
-		return mc
-	}, func() {
-		reads := 0
-		if s.dom.Mode().Translated() {
-			for off := 0; off < s.blockBytes; off += 512 {
-				page := off / 4096
-				v := m.IOVAs[page] + ptable.IOVA(off%4096)
-				tr := s.dom.Translate(v)
-				reads += tr.MemReads
-			}
-		}
-		s.link.Submit(s.blockBytes, reads, func() {
-			s.blocks++
-			s.bytes += int64(s.blockBytes)
-			s.h.core(s.cpu).Do(func() sim.Duration {
-				cost, err := s.dom.UnmapTx(m)
-				if err != nil {
-					panic(fmt.Sprintf("host: storage UnmapTx: %v", err))
-				}
-				return cost
-			}, nil)
-		})
+// addStorage assigns the next storage core/seed slot and attaches the
+// device. Storage device i runs its driver on core Cores+TxFlows+1+i
+// with domain seed offset 1000+i — slot 0 matches the pre-device-layer
+// layout bit-for-bit.
+func (h *Host) addStorage(spec StorageSpec) (*device.Storage, error) {
+	mode := h.cfg.Mode
+	if spec.Mode != nil {
+		mode = *spec.Mode
+	}
+	i := h.storageCount
+	s := device.NewStorage(device.StorageConfig{
+		Name:       fmt.Sprintf("storage%d", i),
+		ReadGBps:   spec.ReadGBps,
+		BlockBytes: spec.BlockBytes,
+		Mode:       mode,
+		CPU:        h.cfg.Cores + h.cfg.TxFlows + 1 + i,
+		SeedOffset: 1000 + int64(i),
 	})
-	s.h.eng.After(s.interval, s.issue)
+	if err := h.AttachDevice(s); err != nil {
+		return nil, err
+	}
+	h.storageCount++
+	return s, nil
 }

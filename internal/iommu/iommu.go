@@ -94,6 +94,10 @@ type IOMMU struct {
 	l2      *lru // (domain, L2Key) -> PT-L3 page id
 	l3      *lru // (domain, L3Key) -> PT-L4 page id
 	c       Counters
+	// perDom shadows c per originating domain, the breakdown the
+	// device layer reports. Every counter increment lands in both, so
+	// summing CountersOf over Domains always reproduces Counters.
+	perDom map[DomainID]*Counters
 }
 
 // New returns an IOMMU with a single default domain (id 0).
@@ -134,8 +138,71 @@ func domKey(d DomainID, key uint64) uint64 { return uint64(d)<<44 | key }
 // Counters returns a snapshot of the hardware counters.
 func (m *IOMMU) Counters() Counters { return m.c }
 
+// CountersOf returns the slice of the hardware counters attributable to
+// domain d: the translations, walks, reads, invalidations and safety
+// events d's device caused. Summing CountersOf over Domains reproduces
+// Counters exactly (the device layer's per-device breakdown relies on
+// this; internal/iommu's property tests enforce it).
+func (m *IOMMU) CountersOf(d DomainID) Counters {
+	if c, ok := m.perDom[d]; ok {
+		return *c
+	}
+	return Counters{}
+}
+
+// Domains lists the existing domain ids in ascending order (domain 0,
+// the default, is always present).
+func (m *IOMMU) Domains() []DomainID {
+	out := make([]DomainID, 0, len(m.tables))
+	for d := DomainID(0); d < m.nextDom; d++ {
+		if _, ok := m.tables[d]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // ResetCounters zeroes the counters (e.g. after warmup).
-func (m *IOMMU) ResetCounters() { m.c = Counters{} }
+func (m *IOMMU) ResetCounters() {
+	m.c = Counters{}
+	m.perDom = nil
+}
+
+// domCounters returns domain d's counter slab, creating it on first use.
+func (m *IOMMU) domCounters(d DomainID) *Counters {
+	if m.perDom == nil {
+		m.perDom = make(map[DomainID]*Counters)
+	}
+	c, ok := m.perDom[d]
+	if !ok {
+		c = &Counters{}
+		m.perDom[d] = c
+	}
+	return c
+}
+
+// chargeDomain attributes every global-counter increment since before to
+// domain d. Wrapping each domain-scoped operation this way keeps the
+// per-domain breakdown exactly consistent with the global counters
+// without duplicating the counting sites.
+func (m *IOMMU) chargeDomain(d DomainID, before Counters) {
+	dc := m.domCounters(d)
+	after := m.c
+	dc.Translations += after.Translations - before.Translations
+	dc.IOTLBHits += after.IOTLBHits - before.IOTLBHits
+	dc.IOTLBMisses += after.IOTLBMisses - before.IOTLBMisses
+	dc.Walks += after.Walks - before.Walks
+	dc.MemReads += after.MemReads - before.MemReads
+	dc.L3Misses += after.L3Misses - before.L3Misses
+	dc.L2Misses += after.L2Misses - before.L2Misses
+	dc.L1Misses += after.L1Misses - before.L1Misses
+	dc.Faults += after.Faults - before.Faults
+	dc.StaleIOTLBUses += after.StaleIOTLBUses - before.StaleIOTLBUses
+	dc.StalePTUses += after.StalePTUses - before.StalePTUses
+	dc.InvRequests += after.InvRequests - before.InvRequests
+	dc.IOTLBInvalidated += after.IOTLBInvalidated - before.IOTLBInvalidated
+	dc.PTInvalidated += after.PTInvalidated - before.PTInvalidated
+}
 
 // iotlbVal packs a physical page frame into the cache value. The low bit
 // flags nothing; staleness is detected against the live table.
@@ -156,6 +223,13 @@ func (m *IOMMU) Translate(v ptable.IOVA) Translation { return m.TranslateIn(0, v
 // that first probes the three page-table caches (in parallel) and starts
 // the walk at the deepest level that hits.
 func (m *IOMMU) TranslateIn(d DomainID, v ptable.IOVA) Translation {
+	before := m.c
+	t := m.translateIn(d, v)
+	m.chargeDomain(d, before)
+	return t
+}
+
+func (m *IOMMU) translateIn(d DomainID, v ptable.IOVA) Translation {
 	table := m.tables[d]
 	m.c.Translations++
 	pn := domKey(d, v.PageNumber())
@@ -287,6 +361,8 @@ func (m *IOMMU) Invalidate(base ptable.IOVA, pages int, iotlbOnly bool) {
 // InvalidateIn is Invalidate scoped to domain d: only d's cache entries
 // are affected (VT-d invalidations carry the domain id).
 func (m *IOMMU) InvalidateIn(d DomainID, base ptable.IOVA, pages int, iotlbOnly bool) {
+	before := m.c
+	defer func() { m.chargeDomain(d, before) }()
 	m.c.InvRequests++
 	for i := 0; i < pages; i++ {
 		v := base + ptable.IOVA(i*ptable.PageSize)
@@ -326,6 +402,8 @@ func (m *IOMMU) InvalidateReclaimed(reclaimed []ptable.ReclaimedPage) {
 // InvalidateReclaimedIn drops domain d's PTcache entries pointing at
 // reclaimed page-table pages.
 func (m *IOMMU) InvalidateReclaimedIn(d DomainID, reclaimed []ptable.ReclaimedPage) {
+	before := m.c
+	defer func() { m.chargeDomain(d, before) }()
 	for _, r := range reclaimed {
 		switch r.Level {
 		case 4: // a PT-L4 page is pointed to by a PTcache-L3 entry

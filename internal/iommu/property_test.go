@@ -2,6 +2,7 @@ package iommu
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fastsafe/internal/ptable"
@@ -122,6 +123,96 @@ func TestPropertyCrossDomainNoLeak(t *testing.T) {
 			} else if !tr.OK && live {
 				t.Fatalf("op %d: domain %d faulted on live mapping %v", op, d, v)
 			}
+		}
+	}
+}
+
+// Two device domains interleave map/unmap/translate over the shared
+// hardware. Two properties the device layer depends on:
+//
+//  1. No cross-domain leakage (re-checked here under the F&S unmap path,
+//     which TestPropertyCrossDomainNoLeak does not exercise).
+//  2. Per-domain attribution is exact: summing CountersOf over Domains
+//     reproduces Counters field-for-field. host/results.go derives the
+//     per-device breakdown from CountersOf, so drift here would silently
+//     misreport device interference.
+//
+// FlushAll is deliberately absent: a global flush belongs to no single
+// domain, so the sum property only holds for the domain-scoped entry
+// points (Strict/F&S-style operation — the modes the breakdown targets).
+func TestPropertyPerDomainCountersSumToGlobal(t *testing.T) {
+	const pages = 32
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(Config{IOTLBSets: 2, IOTLBWays: 2, L1Size: 2, L2Size: 2, L3Size: 2})
+		doms := []DomainID{m.CreateDomain(), m.CreateDomain()}
+		shadow := map[DomainID]map[ptable.IOVA]ptable.Phys{doms[0]: {}, doms[1]: {}}
+		nextPhys := ptable.Phys(1 << 28)
+
+		for op := 0; op < 5000; op++ {
+			d := doms[rng.Intn(2)]
+			v := ptable.IOVA(uint64(rng.Intn(pages)) * ptable.PageSize)
+			switch rng.Intn(5) {
+			case 0: // map
+				if _, live := shadow[d][v]; !live {
+					nextPhys += ptable.PageSize
+					if err := m.TableOf(d).Map(v, nextPhys); err != nil {
+						t.Fatal(err)
+					}
+					shadow[d][v] = nextPhys
+				}
+			case 1: // unmap + strict invalidation
+				if _, live := shadow[d][v]; live {
+					if _, err := m.TableOf(d).Unmap(v, ptable.PageSize); err != nil {
+						t.Fatal(err)
+					}
+					m.InvalidateIn(d, v, 1, false)
+					delete(shadow[d], v)
+				}
+			case 2: // unmap + IOTLB-only invalidation + reclaim hook (F&S)
+				if _, live := shadow[d][v]; live {
+					res, err := m.TableOf(d).Unmap(v, ptable.PageSize)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m.InvalidateIn(d, v, 1, true)
+					m.InvalidateReclaimedIn(d, res.Reclaimed)
+					delete(shadow[d], v)
+				}
+			default: // translate, checked against the shadow model
+				tr := m.TranslateIn(d, v)
+				want, live := shadow[d][v]
+				switch {
+				case tr.OK && !tr.Stale:
+					if !live || tr.Phys != want {
+						t.Fatalf("seed %d op %d: domain %d leaked/mistranslated %v", seed, op, d, v)
+					}
+				case tr.OK && tr.Stale:
+					t.Fatalf("seed %d op %d: stale hit despite invalidation", seed, op)
+				default:
+					if live {
+						t.Fatalf("seed %d op %d: domain %d faulted on live mapping %v", seed, op, d, v)
+					}
+				}
+			}
+		}
+
+		// The sum property, field-for-field via reflection so a counter
+		// added later can't silently escape attribution.
+		var sum Counters
+		sv := reflect.ValueOf(&sum).Elem()
+		for _, d := range m.Domains() {
+			dc := reflect.ValueOf(m.CountersOf(d))
+			for i := 0; i < sv.NumField(); i++ {
+				sv.Field(i).SetInt(sv.Field(i).Int() + dc.Field(i).Int())
+			}
+		}
+		if global := m.Counters(); sum != global {
+			t.Fatalf("seed %d: per-domain counters don't sum to global:\n  sum:    %+v\n  global: %+v", seed, sum, global)
+		}
+		// The untouched default domain must have no charges.
+		if c := m.CountersOf(0); c != (Counters{}) {
+			t.Fatalf("seed %d: default domain charged without traffic: %+v", seed, c)
 		}
 	}
 }
