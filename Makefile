@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-multidev lint ci
+.PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline lint ci
 
 all: build
 
@@ -24,7 +24,7 @@ fmt-check:
 	fi
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -34,9 +34,12 @@ race:
 bench:
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 
-# The multi-device interference figure CI publishes as an artifact.
+# The figures CI publishes as artifacts.
 bench-multidev:
 	$(GO) run ./cmd/fsbench -fig multidev -quick -json > BENCH_multidevice.json
+
+bench-timeline:
+	$(GO) run ./cmd/fsbench -fig timeline -quick -json > BENCH_timeline.json
 
 # Mirrors the CI lint job. Each analyzer is skipped with a notice when
 # its binary is not on PATH (install with:

@@ -7,6 +7,11 @@
 //	fssim -mode strict -seeds 8 -parallel 4   # seed study, 4 workers
 //	fssim -mode strict -storage 2 -storagedevs 4   # 4 co-tenant devices
 //	fssim -mode fns -nics 1 -devmode strict   # second NIC, strict domain
+//	fssim -mode strict -memhog 12 -timeline   # per-interval series as CSV
+//
+// -timeline samples the telemetry series every -sampleus microseconds of
+// virtual time and, after the result line, prints them as wide CSV (one
+// row per sampling instant, one column per series) for plotting.
 //
 // With -seeds N > 1 the same configuration is run under N consecutive
 // seeds (starting at -seed), fanned across -parallel workers; results
@@ -31,6 +36,7 @@ import (
 	"fastsafe/internal/host"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
 )
 
 func main() {
@@ -47,6 +53,8 @@ func main() {
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
 	trace := flag.Bool("trace", false, "summarise the PTcache-L3 locality trace")
+	timeline := flag.Bool("timeline", false, "sample per-interval series and print them as CSV")
+	sampleus := flag.Int("sampleus", 500, "sampling interval for -timeline, microseconds")
 	memhog := flag.Float64("memhog", 0, "co-tenant memory antagonist, GB/s")
 	storage := flag.Float64("storage", 0, "co-tenant storage device read rate, GB/s each")
 	storagedevs := flag.Int("storagedevs", 0, "co-tenant storage devices (default 1 when -storage is set)")
@@ -90,6 +98,15 @@ func main() {
 	}
 	multidev := nStorage+*nics > 0
 
+	var sampleEvery sim.Duration
+	if *timeline {
+		if *sampleus <= 0 {
+			fmt.Fprintln(os.Stderr, "fssim: -sampleus must be positive")
+			os.Exit(2)
+		}
+		sampleEvery = sim.Duration(*sampleus) * sim.Microsecond
+	}
+
 	runSeed := func(s int64) (host.Results, error) {
 		h, err := host.New(host.Config{
 			Mode:            m,
@@ -102,8 +119,11 @@ func main() {
 			Seed:            s,
 			MemHogGBps:      *memhog,
 			Topology:        topo,
-			TraceL3:         *trace,
-			TraceLimit:      200000,
+			Telemetry: host.TelemetryConfig{
+				SampleEvery: sampleEvery,
+				TraceL3:     *trace,
+				TraceLimit:  200000,
+			},
 		})
 		if err != nil {
 			return host.Results{}, err
@@ -139,5 +159,26 @@ func main() {
 			fmt.Printf("L3 locality: %d allocs, frac>=32 %.3f, frac>=64 %.3f, frac>=128 %.3f\n",
 				len(r.Trace.Dists), r.Trace.FractionAbove(32), r.Trace.FractionAbove(64), r.Trace.FractionAbove(128))
 		}
+		if len(r.Timeline) > 0 {
+			printTimeline(r.Timeline)
+		}
+	}
+}
+
+// printTimeline renders the sampled series as wide CSV: one row per
+// sampling instant, one column per series (they share the sampler's
+// clock, so the times line up by construction).
+func printTimeline(series []stats.Series) {
+	fmt.Print("t_us")
+	for _, s := range series {
+		fmt.Printf(",%s", s.Name)
+	}
+	fmt.Println()
+	for i := range series[0].Times {
+		fmt.Printf("%.0f", float64(series[0].Times[i])/1e3)
+		for _, s := range series {
+			fmt.Printf(",%g", s.Values[i])
+		}
+		fmt.Println()
 	}
 }

@@ -59,15 +59,15 @@ func main() {
 	case "locality":
 		h, err := host.New(host.Config{
 			Mode: m, RxFlows: *flows, RingPackets: *ring, Seed: *seed,
-			TraceL3: true, TraceLimit: *limit,
+			Telemetry: host.TelemetryConfig{TraceL3: true, TraceLimit: *limit},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		r := h.Run(10*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
+		h.Run(10*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
 		fmt.Println("alloc_index,l3_stack_distance")
-		for i, d := range r.Trace.Dists {
+		for i, d := range h.Telemetry().ReuseTrace().Dists {
 			fmt.Printf("%d,%d\n", i, d)
 		}
 
@@ -82,11 +82,15 @@ func main() {
 			ReqBytes: *rpc, RespBytes: *rpc,
 			AppCPU: 2 * sim.Microsecond, Cores: 1, CoreBase: 5,
 		})
-		r := h.Run(10*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
+		h.Run(10*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
+		// The registry adopted the workload's own histogram when messages
+		// were installed, so reading it back through the telemetry layer
+		// reproduces the pre-refactor quantiles exactly.
+		lat := h.Telemetry().Histogram("rpc.latency_ns")
 		fmt.Println("quantile,latency_us")
 		for _, q := range []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90,
 			0.95, 0.99, 0.995, 0.999, 0.9999} {
-			fmt.Printf("%g,%.2f\n", q, float64(r.Latency.Quantile(q))/1000)
+			fmt.Printf("%g,%.2f\n", q, float64(lat.Quantile(q))/1000)
 		}
 
 	default:

@@ -12,6 +12,7 @@ import (
 	"fastsafe/internal/host"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
 )
 
 // Mode names a memory-protection datapath.
@@ -58,8 +59,18 @@ type Options struct {
 	MTU         int     // bytes (default 4096)
 	Seed        int64   // deterministic seed (default 1)
 	MemHogGBps  float64 // co-tenant memory-bandwidth antagonist
-	WarmupMS    int     // default 10
-	MeasureMS   int     // default 30
+	// MemHogStartMS delays the antagonist's onset to a virtual time in
+	// milliseconds (0 = active from the start), so a sampled run can
+	// watch the transition into memory contention.
+	MemHogStartMS int
+	WarmupMS      int // default 10
+	MeasureMS     int // default 30
+
+	// SampleUS enables the telemetry sampler: every SampleUS microseconds
+	// of virtual time the per-interval series land in Report.Timeline.
+	// 0 disables sampling (the default); sampling never changes the
+	// simulation's results, only observes them.
+	SampleUS int
 
 	// Devices attaches co-tenant DMA devices sharing the host's IOMMU
 	// with the primary NIC. Their interference shows up both in the
@@ -98,6 +109,10 @@ func (o Options) validate() error {
 		return fmt.Errorf("fastsafe: Seed must be >= 0, got %d", o.Seed)
 	case o.MemHogGBps < 0:
 		return fmt.Errorf("fastsafe: MemHogGBps must be >= 0, got %g", o.MemHogGBps)
+	case o.MemHogStartMS < 0:
+		return fmt.Errorf("fastsafe: MemHogStartMS must be >= 0, got %d", o.MemHogStartMS)
+	case o.SampleUS < 0:
+		return fmt.Errorf("fastsafe: SampleUS must be >= 0, got %d", o.SampleUS)
 	case o.WarmupMS < 0:
 		return fmt.Errorf("fastsafe: WarmupMS must be >= 0, got %d", o.WarmupMS)
 	case o.MeasureMS < 0:
@@ -145,9 +160,32 @@ type Report struct {
 	StaleIOTLBUses int64
 	StalePTUses    int64
 
+	// RxDMALatency and TxDMALatency summarise the primary NIC's PCIe DMA
+	// completion latencies over the measurement window.
+	RxDMALatency LatencyReport
+	TxDMALatency LatencyReport
+
+	// Timeline holds the sampled per-interval series over the measurement
+	// window; empty unless Options.SampleUS was set.
+	Timeline []Series
+
 	// Devices is the per-device breakdown (primary NIC first, then the
 	// co-tenants in Options.Devices order).
 	Devices []DeviceReport
+}
+
+// Series is one sampled telemetry metric: Values[i] was recorded at
+// TimesNS[i] nanoseconds of virtual time.
+type Series struct {
+	Name    string
+	TimesNS []int64
+	Values  []float64
+}
+
+// LatencyReport summarises one latency distribution in microseconds.
+type LatencyReport struct {
+	Count                  int64
+	P50us, P99us, P99_99us float64
 }
 
 // DeviceReport is one DMA device's share of the measurement window.
@@ -160,6 +198,16 @@ type DeviceReport struct {
 	MissesPerPage float64 // shared-IOTLB misses per 4KB page of that payload
 	WalkReads     int64   // page-table memory reads its translations caused
 	Invalidations int64   // invalidation requests its domain submitted
+}
+
+// latencyReport summarises a latency histogram; a nil or empty histogram
+// yields the zero report.
+func latencyReport(h *stats.Histogram) LatencyReport {
+	if h == nil || h.Count() == 0 {
+		return LatencyReport{}
+	}
+	us := func(q float64) float64 { return float64(h.Quantile(q)) / 1000 }
+	return LatencyReport{Count: h.Count(), P50us: us(0.50), P99us: us(0.99), P99_99us: us(0.9999)}
 }
 
 // Simulate runs one experiment and returns its report.
@@ -207,7 +255,11 @@ func Simulate(o Options) (Report, error) {
 		MTU:         o.MTU,
 		Seed:        o.Seed,
 		MemHogGBps:  o.MemHogGBps,
+		MemHogStart: sim.Duration(o.MemHogStartMS) * sim.Millisecond,
 		Topology:    topo,
+		Telemetry: host.TelemetryConfig{
+			SampleEvery: sim.Duration(o.SampleUS) * sim.Microsecond,
+		},
 	})
 	if err != nil {
 		return Report{}, fmt.Errorf("fastsafe: %w", err)
@@ -235,6 +287,15 @@ func Simulate(o Options) (Report, error) {
 		MemUtilization:     r.MemUtil,
 		StaleIOTLBUses:     r.StaleIOTLB,
 		StalePTUses:        r.StalePT,
+		RxDMALatency:       latencyReport(r.Latencies.RxDMA),
+		TxDMALatency:       latencyReport(r.Latencies.TxDMA),
+	}
+	for _, s := range r.Timeline {
+		out := Series{Name: s.Name, Values: append([]float64(nil), s.Values...)}
+		for _, at := range s.Times {
+			out.TimesNS = append(out.TimesNS, int64(at))
+		}
+		rep.Timeline = append(rep.Timeline, out)
 	}
 	for _, d := range r.Devices {
 		rep.Devices = append(rep.Devices, DeviceReport{

@@ -196,3 +196,55 @@ func TestModesComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestSimulateTimeline(t *testing.T) {
+	base := Options{Mode: Strict, WarmupMS: 3, MeasureMS: 6}
+	sampled := base
+	sampled.SampleUS = 500
+	sampled.MemHogGBps = 12
+	sampled.MemHogStartMS = 6 // mid-measure
+
+	r, err := Simulate(sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("SampleUS set but Timeline empty")
+	}
+	for _, s := range r.Timeline {
+		if len(s.TimesNS) != 12 { // 6ms window / 500us
+			t.Fatalf("series %q has %d samples, want 12", s.Name, len(s.TimesNS))
+		}
+	}
+	if r.RxDMALatency.Count == 0 || r.RxDMALatency.P50us <= 0 {
+		t.Fatalf("RxDMALatency not populated: %+v", r.RxDMALatency)
+	}
+	if r.RxDMALatency.P99us < r.RxDMALatency.P50us {
+		t.Fatal("latency quantiles not monotone")
+	}
+
+	// Sampling is observation-only: the unsampled run reports the same
+	// simulation outcome.
+	plain, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Simulate(Options{Mode: Strict, WarmupMS: 3, MeasureMS: 6, SampleUS: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Timeline = nil
+	plainCmp, refCmp := plain, ref
+	if !reflect.DeepEqual(plainCmp, refCmp) {
+		t.Fatalf("sampling changed the report:\nplain:   %+v\nsampled: %+v", plainCmp, refCmp)
+	}
+}
+
+func TestOptionsValidationTelemetry(t *testing.T) {
+	if _, err := Simulate(Options{SampleUS: -1}); err == nil {
+		t.Fatal("negative SampleUS accepted")
+	}
+	if _, err := Simulate(Options{MemHogStartMS: -1}); err == nil {
+		t.Fatal("negative MemHogStartMS accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fastsafe/internal/iova"
+	"fastsafe/internal/stats"
+)
+
+// RegisterProbes exposes one protection domain's software-side counters
+// through the registry under prefix (e.g. "dev0."), together with its
+// allocator, IO page table, and per-domain slice of the shared IOMMU's
+// hardware counters — the full per-device attribution in one namespace.
+// All probes are read-only views over live state.
+func (d *Domain) RegisterProbes(r *stats.Registry, prefix string) {
+	probe := func(name string, fn func(Counters) int64) {
+		r.GaugeFunc(prefix+name, func() float64 { return float64(fn(d.c)) })
+	}
+	probe("rx_descs_mapped", func(c Counters) int64 { return c.RxDescriptorsMapped })
+	probe("rx_descs_unmapped", func(c Counters) int64 { return c.RxDescriptorsUnmapped })
+	probe("tx_pkts_mapped", func(c Counters) int64 { return c.TxPacketsMapped })
+	probe("tx_pkts_unmapped", func(c Counters) int64 { return c.TxPacketsUnmapped })
+	probe("pages_mapped", func(c Counters) int64 { return c.PagesMapped })
+	probe("pages_unmapped", func(c Counters) int64 { return c.PagesUnmapped })
+	probe("iova_allocs", func(c Counters) int64 { return c.IOVAAllocs })
+	probe("iova_frees", func(c Counters) int64 { return c.IOVAFrees })
+	probe("inv_requests", func(c Counters) int64 { return c.InvRequests })
+	probe("deferred_flushes", func(c Counters) int64 { return c.DeferredFlushes })
+	probe("reclaims", func(c Counters) int64 { return c.Reclaims })
+	r.GaugeFunc(prefix+"cpu_ns", func() float64 { return float64(d.c.CPUTime) })
+	r.GaugeFunc(prefix+"pending_deferred", func() float64 { return float64(d.PendingDeferred()) })
+	iova.RegisterProbes(r, prefix+"iova.", d.AllocatorStats)
+	d.mmu.TableOf(d.domID).RegisterProbes(r, prefix+"ptable.")
+	d.mmu.RegisterDomainProbes(r, prefix+"iommu.", d.domID)
+}

@@ -20,6 +20,7 @@ import (
 	"fastsafe/internal/model"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
 	"fastsafe/internal/workload"
 )
 
@@ -749,6 +750,44 @@ func MemoryHog(o Options) Table {
 	return t
 }
 
+// Timeline renders the telemetry sampler's per-interval series for strict
+// vs F&S under a memory antagonist that switches on mid-measurement — the
+// dynamics behind the steady-state MemoryHog table: F&S's ~1-read walks
+// shrug off the bus contention that collapses strict mode's goodput.
+// Every row is one sampling interval of one mode's run.
+func Timeline(o Options) Table {
+	t := Table{ID: "timeline", Title: "Goodput and miss-rate dynamics under mid-run memory contention (extension)",
+		Header: []string{"mode", "t_ms", "rx_gbps", "iotlb/pg", "walk_reads", "mem_util"}}
+	var specs []workload.Spec
+	for _, mode := range []core.Mode{core.Strict, core.FNS} {
+		s := workload.Iperf(mode, 0, 0)
+		s.Host.MemHogGBps = 12
+		s.Host.MemHogStart = o.Warmup + o.Measure/2
+		s.Host.Telemetry.SampleEvery = o.Measure / 8
+		s.Warmup = o.Warmup
+		s.Measure = o.Measure
+		specs = append(specs, s)
+	}
+	for _, r := range runSpecsRaw(specs, o.Parallel) {
+		series := map[string]stats.Series{}
+		for _, s := range r.Timeline {
+			series[s.Name] = s
+		}
+		rx := series["rx_gbps"]
+		for i := range rx.Times {
+			t.Rows = append(t.Rows, []string{
+				r.Mode.String(),
+				f1(float64(rx.Times[i]) / 1e6),
+				f1(rx.Values[i]),
+				f2(series["iotlb_miss_per_pg"].Values[i]),
+				fmt.Sprintf("%.0f", series["walk_reads"].Values[i]),
+				f2(series["mem_util"].Values[i]),
+			})
+		}
+	}
+	return t
+}
+
 // CPUCost reports the driver-side protection CPU time per gigabyte moved —
 // the per-core efficiency angle of [39, 42] that motivates F&S's batched
 // invalidations (extension).
@@ -802,7 +841,7 @@ func All(o Options) []Table {
 		Fig11a(o), Fig11b(o), Fig11c(o),
 		Fig12(o), Model(o), Deferred(o), DescriptorSizes(o), CacheSizes(o),
 		Hugepages(o), MemoryLatency(o), Seeds(o), Storage(o), MemoryHog(o),
-		CPUCost(o),
+		Timeline(o), CPUCost(o),
 	}
 }
 
@@ -816,7 +855,8 @@ func ByID(id string, o Options) (Table, error) {
 		"fig12": Fig12, "model": Model, "modes": Deferred,
 		"descsize": DescriptorSizes, "ptcache": CacheSizes, "huge": Hugepages,
 		"memlat": MemoryLatency, "seeds": Seeds, "storage": Storage,
-		"multidev": Multidev, "memhog": MemoryHog, "cpucost": CPUCost,
+		"multidev": Multidev, "memhog": MemoryHog, "timeline": Timeline,
+		"cpucost": CPUCost,
 	}
 	f, ok := fns[id]
 	if !ok {
@@ -831,6 +871,6 @@ func IDs() []string {
 		"fig2", "fig2e", "fig3", "fig3e", "fig7", "fig7e", "fig8", "fig8e",
 		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
 		"model", "modes", "descsize", "ptcache", "huge", "memlat", "seeds",
-		"storage", "multidev", "memhog", "cpucost",
+		"storage", "multidev", "memhog", "timeline", "cpucost",
 	}
 }

@@ -58,7 +58,11 @@ type Config struct {
 
 	// Memory system (§2.2: two DDR4 channels, 46.9GB/s, DDIO disabled).
 	MemHogGBps float64 // co-tenant memory bandwidth antagonist (0 = none)
-	DDIO       bool    // DMA lands in LLC instead of DRAM (paper default: off)
+	// MemHogStart delays the antagonist's onset to a virtual time (0 =
+	// from construction), letting timeline experiments watch the
+	// transition into contention mid-run.
+	MemHogStart sim.Duration
+	DDIO        bool // DMA lands in LLC instead of DRAM (paper default: off)
 
 	// Topology attaches co-tenant DMA devices beyond the primary NIC,
 	// all sharing the host's IOMMU.
@@ -68,9 +72,13 @@ type Config struct {
 	IOMMU     iommu.Config
 	Costs     core.CostModel
 
-	TraceL3    bool
-	TraceLimit int
-	Seed       int64
+	// Telemetry configures the observation layer: the virtual-time
+	// sampler and the PTcache-L3 locality trace. All of it is strictly
+	// read-only over simulation state, so enabling it never changes
+	// simulated behaviour.
+	Telemetry TelemetryConfig
+
+	Seed int64
 }
 
 // Topology describes the DMA devices attached to the host beyond the
@@ -177,6 +185,7 @@ type Host struct {
 	msgs   *msgApp // request/response machinery (nil unless installed)
 	walker *pcie.Walker
 	bus    *mem.Bus
+	tele   *Telemetry
 
 	storageCount int // storage devices attached so far (cpu/seed slots)
 	started      bool
@@ -192,7 +201,11 @@ func New(cfg Config) (*Host, error) {
 	h.bus = mem.New(h.eng, mem.Config{})
 	h.walker.SetLatencyFactor(h.bus.LatencyFactor)
 	if cfg.MemHogGBps > 0 {
-		mem.NewHog(h.bus, cfg.MemHogGBps)
+		if cfg.MemHogStart > 0 {
+			h.eng.At(cfg.MemHogStart, func() { mem.NewHog(h.bus, cfg.MemHogGBps) })
+		} else {
+			mem.NewHog(h.bus, cfg.MemHogGBps)
+		}
 	}
 
 	// The primary NIC: built from the flat Config fields, attached first
@@ -240,6 +253,7 @@ func New(cfg Config) (*Host, error) {
 			return nil, err
 		}
 	}
+	h.tele = newTelemetry(h)
 	return h, nil
 }
 
@@ -258,6 +272,12 @@ func (h *Host) AttachDevice(d device.Device) error {
 			h.net = n
 		}
 		h.nets = append(h.nets, n)
+	}
+	// Devices attached during New are registered when the telemetry spine
+	// is built; later attachments (InstallStorage, direct AttachDevice)
+	// register here.
+	if h.tele != nil {
+		h.tele.addDevice(d)
 	}
 	return nil
 }
@@ -339,6 +359,11 @@ func (h *Host) Start() {
 		d.Start()
 	}
 	h.eng.After(200*sim.Microsecond, h.housekeeping)
+	// The sampler starts last: its read-only ticks interleave after the
+	// workload events already scheduled at each timestamp.
+	if h.tele != nil && h.tele.sampler != nil {
+		h.tele.sampler.Start()
+	}
 }
 
 // housekeeping fires RTO checks and delayed-ACK flushes.

@@ -300,7 +300,7 @@ func TestMessagesSurviveDropsViaRetry(t *testing.T) {
 }
 
 func TestTraceEnabled(t *testing.T) {
-	h, err := New(Config{Mode: core.Strict, TraceL3: true, TraceLimit: 5000})
+	h, err := New(Config{Mode: core.Strict, Telemetry: TelemetryConfig{TraceL3: true, TraceLimit: 5000}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -122,6 +122,13 @@ func (h *Host) InstallMessages(cfg MsgConfig) *msgApp {
 		})
 	}
 	h.msgs = app
+	if h.tele != nil {
+		// The workload owns the latency histogram; the registry shares the
+		// same object so telemetry readers see identical quantiles.
+		h.tele.reg.AddHistogram("rpc.latency_ns", &app.latency)
+		h.tele.reg.GaugeFunc("rpc.completed", func() float64 { return float64(app.completed) })
+		h.tele.reg.GaugeFunc("rpc.retries", func() float64 { return float64(app.retries) })
+	}
 	return app
 }
 

@@ -176,8 +176,8 @@ func (n *netDev) Attach(dh device.Host) error {
 		// The primary NIC takes the IOMMU's default domain 0, keeping the
 		// legacy single-NIC cache indexing bit-for-bit.
 		DefaultDomain: n.primary,
-		TraceL3:       cfg.TraceL3 && n.primary,
-		TraceLimit:    cfg.TraceLimit,
+		TraceL3:       cfg.Telemetry.TraceL3 && n.primary,
+		TraceLimit:    cfg.Telemetry.TraceLimit,
 	}, n.seedOff)
 	n.rx = h.NewLink()
 	n.tx = h.NewLink()

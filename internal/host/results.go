@@ -56,12 +56,29 @@ type Results struct {
 	MsgRetries int64
 	Latency    *stats.Histogram // exchange latency (ns), nil without messages
 
+	// Latencies groups every latency distribution the telemetry layer
+	// collects over the measurement window (all reset at its start).
+	Latencies Latencies
+
+	// Timeline is the sampled per-interval series restricted to the
+	// measurement window, in probe-registration order; nil unless
+	// Telemetry.SampleEvery was configured.
+	Timeline []stats.Series
+
 	// Devices is the per-device breakdown, in attach order (primary NIC
 	// first). Summing each device's share of the shared-IOMMU counters
 	// reproduces the global counters exactly.
 	Devices []DeviceResults
 
 	Trace *stats.ReuseTrace // PTcache-L3 locality trace, nil unless enabled
+}
+
+// Latencies is the latency section of Results: the paper's distributional
+// evidence, one histogram per collection point.
+type Latencies struct {
+	RPC   *stats.Histogram // request/response exchange latency (ns), nil without messages
+	RxDMA *stats.Histogram // primary NIC Rx PCIe DMA completion latency (ns)
+	TxDMA *stats.Histogram // primary NIC Tx PCIe DMA completion latency (ns)
 }
 
 // DeviceResults is one attached device's share of the measurement
@@ -183,6 +200,10 @@ func (h *Host) Run(warmup, measure sim.Duration) Results {
 	if h.msgs != nil {
 		h.msgs.latency.Reset()
 	}
+	// Latency histograms measure the window only; counters are diffed via
+	// snapshots instead, so only the sample sinks reset here.
+	h.net.rx.Latency().Reset()
+	h.net.tx.Latency().Reset()
 	before := h.snap()
 	h.eng.Run(warmup + measure)
 	after := h.snap()
@@ -261,6 +282,14 @@ func (h *Host) results(before, after snapshot) Results {
 	r.MsgRetries = after.msgRtry - before.msgRtry
 	if h.msgs != nil {
 		r.Latency = &h.msgs.latency
+	}
+	r.Latencies = Latencies{
+		RPC:   r.Latency,
+		RxDMA: h.net.rx.Latency(),
+		TxDMA: h.net.tx.Latency(),
+	}
+	if h.tele != nil && h.tele.sampler != nil {
+		r.Timeline = h.tele.sampler.SeriesWindow(before.at, after.at)
 	}
 
 	for i, d := range h.devices {

@@ -1,0 +1,191 @@
+package host
+
+import (
+	"fmt"
+
+	"fastsafe/internal/device"
+	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
+)
+
+// TelemetryConfig configures the host's observation layer. Everything it
+// enables is strictly read-only over simulation state: probes never
+// schedule work, mutate layers, or consume engine randomness, so any
+// telemetry setting produces byte-identical simulation results to running
+// without it (the golden tests lock this down).
+type TelemetryConfig struct {
+	// SampleEvery, when positive, runs the virtual-time sampler at this
+	// interval, recording the per-interval time series behind
+	// Results.Timeline (goodput, miss rates, walk reads, cwnd, core
+	// utilisation, invalidation-queue depth, memory-bus utilisation).
+	SampleEvery sim.Duration
+	// TraceL3 records the primary NIC domain's PTcache-L3 reuse-distance
+	// trace (the paper's locality figures).
+	TraceL3 bool
+	// TraceLimit caps the trace points kept (0 = unlimited).
+	TraceLimit int
+}
+
+// Telemetry is the host's metrics spine: one Registry every simulator
+// layer registers its typed probe points into, plus (when configured) the
+// virtual-time Sampler recording time series across the run.
+//
+// Layer namespaces in the registry:
+//
+//	engine.*            event-loop progress (fired, pending)
+//	iommu.*             shared translation hardware: counters + occupancy
+//	mem.*               memory-bus utilisation and traffic
+//	walker.*            shared page-table walker reads
+//	<dev>.*             per-device domain counters (dev = nic0, storage0, ...)
+//	<dev>.iommu.*       the device's attributed slice of the shared IOMMU
+//	<dev>.iova.*        the device domain's IOVA-allocator work
+//	<dev>.ptable.*      the device domain's IO page-table size
+//	<dev>.pcie.rx.*     the NIC's Rx PCIe link (incl. latency_ns histogram)
+//	<dev>.pcie.tx.*     likewise for Tx
+//	<dev>.flow<i>.*     per-flow congestion state (NICs only)
+//	rpc.*               request/response workload (latency_ns histogram)
+type Telemetry struct {
+	h       *Host
+	reg     *stats.Registry
+	sampler *stats.Sampler
+}
+
+// newTelemetry wires the registry over every layer already attached and,
+// when sampling is configured, registers the timeline probes.
+func newTelemetry(h *Host) *Telemetry {
+	t := &Telemetry{h: h, reg: stats.NewRegistry()}
+	r := t.reg
+	r.GaugeFunc("engine.fired", func() float64 { return float64(h.eng.Fired()) })
+	r.GaugeFunc("engine.pending", func() float64 { return float64(h.eng.Pending()) })
+	h.mmu.RegisterProbes(r, "iommu.")
+	h.bus.RegisterProbes(r, "mem.")
+	h.walker.RegisterProbes(r, "walker.")
+	for _, d := range h.devices {
+		t.addDevice(d)
+	}
+	if every := h.cfg.Telemetry.SampleEvery; every > 0 {
+		t.sampler = stats.NewSampler(h.eng, every)
+		t.addSamplerProbes()
+	}
+	return t
+}
+
+// addDevice registers one attached device's probe points: its protection
+// domain (with allocator, page table, and attributed IOMMU counters), its
+// device.Stats view, and — for NICs — the datapath, PCIe links and
+// per-flow congestion state.
+func (t *Telemetry) addDevice(d device.Device) {
+	name := d.Name()
+	d.Domain().RegisterProbes(t.reg, name+".")
+	t.reg.GaugeFunc(name+".ops", func() float64 { return float64(d.Stats().Ops) })
+	t.reg.GaugeFunc(name+".bytes", func() float64 { return float64(d.Stats().Bytes) })
+	n, ok := d.(*netDev)
+	if !ok {
+		return
+	}
+	n.dev.RegisterProbes(t.reg, name+".")
+	n.rx.RegisterProbes(t.reg, name+".pcie.rx.")
+	n.tx.RegisterProbes(t.reg, name+".pcie.tx.")
+	for _, f := range n.rxFlows {
+		f.snd.RegisterProbes(t.reg, fmt.Sprintf("%s.flow%d.", name, f.id))
+	}
+	for _, f := range n.txFlows {
+		f.snd.RegisterProbes(t.reg, fmt.Sprintf("%s.txflow%d.", name, f.id))
+	}
+}
+
+// addSamplerProbes registers the timeline series. Probe order fixes the
+// Series() order, so it is part of the output format.
+func (t *Telemetry) addSamplerProbes() {
+	h, s := t.h, t.sampler
+	// Goodput accounting matches Results.RxGbps: primary-NIC bulk
+	// deliveries, plus message payload when the local host is the client
+	// (bulk inbound responses).
+	goodput := func() int64 {
+		b := h.net.c.rxDeliveredBytes
+		if h.msgs != nil && h.msgs.cfg.Pattern == LocalClient {
+			b += h.msgs.completedBytes
+		}
+		return b
+	}
+	// The miss-rate normaliser matches Results.PagesRxed: all payload
+	// moved in the interval, in 4KB pages.
+	allBytes := func() int64 {
+		b := h.net.c.rxDeliveredBytes + h.net.c.txDeliveredBytes
+		if h.msgs != nil {
+			b += h.msgs.completedBytes
+		}
+		return b
+	}
+	s.Probe("rx_gbps", stats.GbpsProbe(goodput))
+	s.Probe("tx_gbps", stats.GbpsProbe(func() int64 { return h.net.c.txDeliveredBytes }))
+	s.Probe("iotlb_miss_per_pg", stats.PerPageProbe(
+		func() int64 { return h.mmu.Counters().IOTLBMisses }, allBytes))
+	s.Probe("ptcache_miss_per_pg", stats.PerPageProbe(
+		func() int64 {
+			c := h.mmu.Counters()
+			return c.L1Misses + c.L2Misses + c.L3Misses
+		}, allBytes))
+	s.Probe("walk_reads", stats.DeltaProbe(func() int64 { return h.mmu.Counters().MemReads }))
+	s.Probe("inv_reqs", stats.DeltaProbe(func() int64 { return h.mmu.Counters().InvRequests }))
+	s.GaugeProbe("cwnd_mean", func() float64 {
+		cwnd, _, _, _, _ := h.DebugFlows()
+		return cwnd
+	})
+	var prevBusy []sim.Duration
+	s.Probe("core_util_max", func(dt sim.Duration) float64 {
+		var peak float64
+		for i, c := range h.cores {
+			var prev sim.Duration
+			if i < len(prevBusy) {
+				prev = prevBusy[i]
+			}
+			if u := float64(c.BusyTime()-prev) / float64(dt); u > peak {
+				peak = u
+			}
+		}
+		prevBusy = prevBusy[:0]
+		for _, c := range h.cores {
+			prevBusy = append(prevBusy, c.BusyTime())
+		}
+		return peak
+	})
+	s.GaugeProbe("invq_depth", func() float64 {
+		var n int
+		for _, d := range h.devices {
+			n += d.Domain().PendingDeferred()
+		}
+		return float64(n)
+	})
+	s.GaugeProbe("mem_util", h.bus.PeekUtilization)
+}
+
+// Telemetry returns the host's metrics spine.
+func (h *Host) Telemetry() *Telemetry { return h.tele }
+
+// Registry returns the instrument registry.
+func (t *Telemetry) Registry() *stats.Registry { return t.reg }
+
+// Sampler returns the virtual-time sampler, nil unless SampleEvery was
+// configured.
+func (t *Telemetry) Sampler() *stats.Sampler { return t.sampler }
+
+// Series returns every sampled time series over the whole run (warmup
+// included); nil without sampling. Results.Timeline carries the same
+// series restricted to the measurement window.
+func (t *Telemetry) Series() []stats.Series {
+	if t.sampler == nil {
+		return nil
+	}
+	return t.sampler.Series()
+}
+
+// Histogram returns a registered histogram by name (e.g. "rpc.latency_ns",
+// "nic0.pcie.rx.latency_ns"), or nil when absent.
+func (t *Telemetry) Histogram(name string) *stats.Histogram {
+	return t.reg.LookupHistogram(name)
+}
+
+// ReuseTrace returns the primary NIC domain's PTcache-L3 reuse-distance
+// trace, nil unless TelemetryConfig.TraceL3 was set.
+func (t *Telemetry) ReuseTrace() *stats.ReuseTrace { return t.h.net.dom.Trace() }

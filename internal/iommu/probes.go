@@ -1,0 +1,57 @@
+package iommu
+
+import (
+	"fastsafe/internal/stats"
+)
+
+// registerCounterProbes installs function-backed gauges over one Counters
+// view (global or per-domain). The closures read live state on every
+// sample, so the registry always reports current values without copying.
+func registerCounterProbes(r *stats.Registry, prefix string, src func() Counters) {
+	probe := func(name string, fn func(Counters) int64) {
+		r.GaugeFunc(prefix+name, func() float64 { return float64(fn(src())) })
+	}
+	probe("translations", func(c Counters) int64 { return c.Translations })
+	probe("iotlb_hits", func(c Counters) int64 { return c.IOTLBHits })
+	probe("iotlb_misses", func(c Counters) int64 { return c.IOTLBMisses })
+	probe("walks", func(c Counters) int64 { return c.Walks })
+	probe("mem_reads", func(c Counters) int64 { return c.MemReads })
+	probe("l3_misses", func(c Counters) int64 { return c.L3Misses })
+	probe("l2_misses", func(c Counters) int64 { return c.L2Misses })
+	probe("l1_misses", func(c Counters) int64 { return c.L1Misses })
+	probe("faults", func(c Counters) int64 { return c.Faults })
+	probe("stale_iotlb_uses", func(c Counters) int64 { return c.StaleIOTLBUses })
+	probe("stale_pt_uses", func(c Counters) int64 { return c.StalePTUses })
+	probe("inv_requests", func(c Counters) int64 { return c.InvRequests })
+	probe("iotlb_invalidated", func(c Counters) int64 { return c.IOTLBInvalidated })
+	probe("pt_invalidated", func(c Counters) int64 { return c.PTInvalidated })
+}
+
+// RegisterProbes exposes the shared IOMMU's hardware counters and cache
+// occupancies through the registry under prefix (e.g. "iommu."). All
+// probes are read-only views over live state.
+func (m *IOMMU) RegisterProbes(r *stats.Registry, prefix string) {
+	registerCounterProbes(r, prefix, m.Counters)
+	r.GaugeFunc(prefix+"iotlb_occupancy", func() float64 {
+		n, _, _, _ := m.CacheOccupancy()
+		return float64(n)
+	})
+	r.GaugeFunc(prefix+"l1_occupancy", func() float64 {
+		_, n, _, _ := m.CacheOccupancy()
+		return float64(n)
+	})
+	r.GaugeFunc(prefix+"l2_occupancy", func() float64 {
+		_, _, n, _ := m.CacheOccupancy()
+		return float64(n)
+	})
+	r.GaugeFunc(prefix+"l3_occupancy", func() float64 {
+		_, _, _, n := m.CacheOccupancy()
+		return float64(n)
+	})
+}
+
+// RegisterDomainProbes exposes the counter slice attributable to one
+// protection domain — the per-device breakdown from the shared caches.
+func (m *IOMMU) RegisterDomainProbes(r *stats.Registry, prefix string, d DomainID) {
+	registerCounterProbes(r, prefix, func() Counters { return m.CountersOf(d) })
+}

@@ -1,0 +1,21 @@
+package iova
+
+import (
+	"fastsafe/internal/stats"
+)
+
+// RegisterProbes exposes one allocator's work counters through the
+// registry under prefix (e.g. "dev0.iova."). src is the live Stats view —
+// typically the Stats method of a TreeAllocator or CachedAllocator, or a
+// domain's AllocatorStats. All probes are read-only.
+func RegisterProbes(r *stats.Registry, prefix string, src func() Stats) {
+	probe := func(name string, fn func(Stats) int64) {
+		r.GaugeFunc(prefix+name, func() float64 { return float64(fn(src())) })
+	}
+	probe("tree_allocs", func(s Stats) int64 { return s.TreeAllocs })
+	probe("tree_frees", func(s Stats) int64 { return s.TreeFrees })
+	probe("nodes_visited", func(s Stats) int64 { return s.NodesVisited })
+	probe("cache_allocs", func(s Stats) int64 { return s.CacheAllocs })
+	probe("cache_frees", func(s Stats) int64 { return s.CacheFrees })
+	probe("depot_moves", func(s Stats) int64 { return s.DepotMoves })
+}

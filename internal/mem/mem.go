@@ -18,6 +18,7 @@ package mem
 
 import (
 	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
 )
 
 // Config sizes the bus. Zero fields take the paper's testbed values.
@@ -124,6 +125,21 @@ func (b *Bus) LatencyFactor() float64 {
 
 // TotalBytes returns cumulative consumed traffic.
 func (b *Bus) TotalBytes() int64 { return b.totalBytes }
+
+// PeekUtilization returns the utilisation EWMA as last folded, without
+// rolling the window. Unlike Utilization it never mutates the bus, so the
+// telemetry sampler can read it without perturbing the (deterministic)
+// roll schedule; on a busy bus Consume rolls constantly, keeping the
+// peeked value at most one window stale.
+func (b *Bus) PeekUtilization() float64 { return b.util }
+
+// RegisterProbes exposes the bus through the registry under prefix
+// (e.g. "mem."). All probes are read-only: utilisation is peeked, not
+// rolled, so sampling cannot disturb the simulation.
+func (b *Bus) RegisterProbes(r *stats.Registry, prefix string) {
+	r.GaugeFunc(prefix+"util", b.PeekUtilization)
+	r.GaugeFunc(prefix+"bytes", func() float64 { return float64(b.totalBytes) })
+}
 
 // Hog is a synthetic co-tenant consuming fixed bandwidth (an antagonist
 // application, e.g. a streaming analytics job).

@@ -21,6 +21,7 @@ package pcie
 
 import (
 	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
 )
 
 // Walker models the IOMMU's page-table walkers and their memory reads as
@@ -110,6 +111,9 @@ type Link struct {
 	serving     bool
 	outstanding int
 	stats       Stats
+	// lat records per-DMA completion latency (queue wait + service) in
+	// nanoseconds, feeding the telemetry registry's latency section.
+	lat stats.Histogram
 }
 
 // New returns a link with a private walker. gbps is the serialisation cap
@@ -176,11 +180,35 @@ func (l *Link) serve() {
 	l.stats.MemReads += int64(d.reads)
 	l.stats.BusyTime += svc
 	l.stats.QueueTime += now - d.submit
+	l.lat.Observe(int64(now - d.submit + svc))
 	l.eng.After(svc, func() {
 		l.outstanding--
 		d.done()
 		l.serve()
 	})
+}
+
+// Latency returns the link's per-DMA completion-latency histogram
+// (nanoseconds from Submit to completion, i.e. queue wait plus service).
+func (l *Link) Latency() *stats.Histogram { return &l.lat }
+
+// RegisterProbes exposes the link's counters through the registry under
+// prefix (e.g. "pcie.rx."), plus its latency histogram as prefix+
+// "latency_ns". All probes are read-only views over live state.
+func (l *Link) RegisterProbes(r *stats.Registry, prefix string) {
+	r.GaugeFunc(prefix+"dmas", func() float64 { return float64(l.stats.DMAs) })
+	r.GaugeFunc(prefix+"bytes", func() float64 { return float64(l.stats.Bytes) })
+	r.GaugeFunc(prefix+"mem_reads", func() float64 { return float64(l.stats.MemReads) })
+	r.GaugeFunc(prefix+"busy_ns", func() float64 { return float64(l.stats.BusyTime) })
+	r.GaugeFunc(prefix+"queue_ns", func() float64 { return float64(l.stats.QueueTime) })
+	r.GaugeFunc(prefix+"outstanding", func() float64 { return float64(l.outstanding) })
+	r.AddHistogram(prefix+"latency_ns", &l.lat)
+}
+
+// RegisterProbes exposes the walker's cumulative page-table reads under
+// prefix (e.g. "walker.").
+func (w *Walker) RegisterProbes(r *stats.Registry, prefix string) {
+	r.GaugeFunc(prefix+"reads", func() float64 { return float64(w.reads) })
 }
 
 // Utilization returns the fraction of elapsed time the link was busy.

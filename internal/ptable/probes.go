@@ -1,0 +1,13 @@
+package ptable
+
+import (
+	"fastsafe/internal/stats"
+)
+
+// RegisterProbes exposes one IO page table's size through the registry
+// under prefix (e.g. "dev0.ptable."): live page-table pages and installed
+// mappings. Both are read-only views over live state.
+func (t *Table) RegisterProbes(r *stats.Registry, prefix string) {
+	r.GaugeFunc(prefix+"live_pages", func() float64 { return float64(t.live) })
+	r.GaugeFunc(prefix+"mappings", func() float64 { return float64(t.maps) })
+}

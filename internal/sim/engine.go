@@ -45,17 +45,26 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Fired and cancelled events are recycled
+// through the engine's free list; gen distinguishes the current tenancy of
+// the struct from EventIDs issued for earlier tenancies.
 type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
 	dead bool
 	idx  int
+	gen  uint64
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. It pins the
+// event's generation, so an ID kept past the event's firing (or past its
+// cancellation) goes inert instead of cancelling whatever event later
+// reuses the same pooled struct.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 type eventQueue []*event
 
@@ -81,6 +90,7 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1
 	*q = old[:n-1]
 	return ev
 }
@@ -94,6 +104,8 @@ type Engine struct {
 	rng   *rand.Rand
 	// Fired counts events executed; useful for run-away detection in tests.
 	fired uint64
+	// free pools fired/cancelled event structs for reuse by At.
+	free []*event
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -113,16 +125,39 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// alloc takes an event struct from the free list, or heap-allocates when
+// the list is empty.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return new(event)
+}
+
+// recycle returns a popped event to the free list. Bumping gen first makes
+// any EventID still pointing at the struct inert.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	ev.idx = -1
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in the caller; the engine clamps it to "now" to keep time monotonic.
 func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return EventID{ev}
+	return EventID{ev, ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -134,9 +169,10 @@ func (e *Engine) After(d Duration, fn func()) EventID {
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op.
+// or already-cancelled event is a no-op: the generation check rejects IDs
+// whose event struct has been recycled for a later scheduling.
 func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
+	if id.ev != nil && id.ev.gen == id.gen {
 		id.ev.dead = true
 	}
 }
@@ -147,11 +183,14 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false

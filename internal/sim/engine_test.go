@@ -196,3 +196,70 @@ func TestSecondsConversion(t *testing.T) {
 		t.Fatalf("Micros() = %v, want 2", got)
 	}
 }
+
+func TestCancelAfterFireIsInert(t *testing.T) {
+	// Regression test for the pooled free list: an EventID retained past
+	// its event's firing must not cancel the event that reuses the struct.
+	e := NewEngine(1)
+	stale := e.At(5, func() {})
+	e.RunAll() // fires and recycles the event struct
+
+	fired := false
+	fresh := e.At(7, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Skip("free list did not reuse the struct; nothing to regress")
+	}
+	e.Cancel(stale) // stale generation: must be a no-op
+	e.RunAll()
+	if !fired {
+		t.Fatal("stale Cancel killed a later event reusing the pooled struct")
+	}
+}
+
+func TestCancelAfterCancelIsInert(t *testing.T) {
+	// Same property for the cancel path: a cancelled (never fired) event is
+	// recycled when popped, and its old ID must then be inert.
+	e := NewEngine(1)
+	stale := e.At(5, func() {})
+	e.Cancel(stale)
+	e.RunAll() // pops the dead event and recycles it
+
+	fired := false
+	fresh := e.At(7, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Skip("free list did not reuse the struct; nothing to regress")
+	}
+	e.Cancel(stale)
+	e.RunAll()
+	if !fired {
+		t.Fatal("doubly-cancelled ID killed a later event reusing the struct")
+	}
+}
+
+func TestPopClearsHeapIndex(t *testing.T) {
+	// eventQueue.Pop must reset idx so a popped event no longer claims a
+	// position inside the live heap.
+	e := NewEngine(1)
+	e.At(10, func() {})
+	e.At(20, func() {})
+	var popped *event
+	e.queue[0].fn = func() {}
+	popped = e.queue[0]
+	e.Step()
+	if popped.idx != -1 {
+		t.Fatalf("popped event idx = %d, want -1", popped.idx)
+	}
+}
+
+func TestFreeListReusesStructs(t *testing.T) {
+	e := NewEngine(1)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			e.After(Duration(i), func() {})
+		}
+		e.RunAll()
+	}
+	if len(e.free) != 100 {
+		t.Fatalf("free list holds %d structs, want 100", len(e.free))
+	}
+}

@@ -1,0 +1,25 @@
+package transport
+
+import (
+	"fastsafe/internal/stats"
+)
+
+// RegisterProbes exposes one sender's congestion state and counters
+// through the registry under prefix (e.g. "flow0."). All probes are
+// read-only views over live state.
+func (s *Sender) RegisterProbes(r *stats.Registry, prefix string) {
+	r.GaugeFunc(prefix+"cwnd", s.Cwnd)
+	r.GaugeFunc(prefix+"alpha", s.Alpha)
+	r.GaugeFunc(prefix+"inflight", func() float64 { return float64(s.Inflight()) })
+	r.GaugeFunc(prefix+"sent", func() float64 { return float64(s.stats.Sent) })
+	r.GaugeFunc(prefix+"retransmits", func() float64 { return float64(s.stats.Retransmits) })
+	r.GaugeFunc(prefix+"timeouts", func() float64 { return float64(s.stats.Timeouts) })
+}
+
+// RegisterProbes exposes one receiver's counters through the registry
+// under prefix.
+func (r *Receiver) RegisterProbes(reg *stats.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"received", func() float64 { return float64(r.stats.Received) })
+	reg.GaugeFunc(prefix+"out_of_order", func() float64 { return float64(r.stats.OutOfOrder) })
+	reg.GaugeFunc(prefix+"acks_sent", func() float64 { return float64(r.stats.AcksSent) })
+}

@@ -60,8 +60,8 @@ func Iperf(mode core.Mode, flows, ring int) Spec {
 // (Figures 2e/3e/7e/8e).
 func IperfTrace(mode core.Mode, flows, ring, limit int) Spec {
 	s := Iperf(mode, flows, ring)
-	s.Host.TraceL3 = true
-	s.Host.TraceLimit = limit
+	s.Host.Telemetry.TraceL3 = true
+	s.Host.Telemetry.TraceLimit = limit
 	return s
 }
 
