@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline lint ci
+.PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline \
+	faults bench-faults cover golden-check lint ci
 
 all: build
 
@@ -41,6 +42,33 @@ bench-multidev:
 bench-timeline:
 	$(GO) run ./cmd/fsbench -fig timeline -quick -json > BENCH_timeline.json
 
+bench-faults:
+	$(GO) run ./cmd/fsbench -fig faults -quick -json > BENCH_faults.json
+
+# The fault-campaign gate: safety figure plus the replay-determinism and
+# safety-property sweeps. FAULT_SEEDS widens the sweep (CI uses 64, the
+# nightly schedule 1024; default 8 keeps local runs quick).
+faults: bench-faults
+	$(GO) test -run 'TestReplayDeterminism|TestStrictSafetyModesNeverServeStale|TestStrawmanCaughtWithinOneWindow' ./internal/fault
+
+# Coverage with the CI ratchet: fails when total statement coverage falls
+# below ci/coverage_floor.txt. Bump the floor when coverage rises.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	floor=$$(cat ci/coverage_floor.txt); \
+	echo "total coverage: $${total}% (floor: $${floor}%)"; \
+	if awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t < f) }'; then \
+		echo "coverage $${total}% fell below the floor $${floor}%" >&2; exit 1; \
+	fi
+	$(GO) tool cover -html=coverage.out -o coverage.html
+
+# Regenerate every golden file and fail if any drift from the committed
+# ones — catches accidentally-committed stale goldens.
+golden-check:
+	UPDATE_GOLDEN=1 $(GO) test -run Golden ./internal/experiments ./internal/host
+	git diff --exit-code
+
 # Mirrors the CI lint job. Each analyzer is skipped with a notice when
 # its binary is not on PATH (install with:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
@@ -57,4 +85,4 @@ lint:
 		echo "lint: govulncheck not installed, skipping" >&2; \
 	fi
 
-ci: build vet fmt-check lint test race bench
+ci: build vet fmt-check lint test race bench faults cover golden-check

@@ -8,6 +8,13 @@
 //	fssim -mode strict -storage 2 -storagedevs 4   # 4 co-tenant devices
 //	fssim -mode fns -nics 1 -devmode strict   # second NIC, strict domain
 //	fssim -mode strict -memhog 12 -timeline   # per-interval series as CSV
+//	fssim -mode fns -faults 1 -faultseed 7    # canonical fault campaign
+//
+// -faults enables deterministic fault injection and the translation
+// auditor: a bare number is a canonical-campaign intensity, otherwise a
+// comma-separated key=value spec like "invdrop=0.02,linkflap=3ms" (see
+// internal/fault). The safety tally prints after the result line; -audit
+// runs the auditor alone on a fault-free simulation.
 //
 // -timeline samples the telemetry series every -sampleus microseconds of
 // virtual time and, after the result line, prints them as wide CSV (one
@@ -33,6 +40,7 @@ import (
 	"runtime"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/host"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
@@ -40,7 +48,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "strict", "protection mode: off|strict|deferred|strict+preserve|strict+contig|fns|persistent")
+	mode := flag.String("mode", "strict", "protection mode: off|strict|deferred|strict+preserve|strict+contig|fns|persistent|fns+huge|defer-noshootdown")
 	flows := flag.Int("flows", 5, "bulk Rx flows")
 	txflows := flag.Int("txflows", 0, "bulk Tx flows (each on its own extra core)")
 	cores := flag.Int("cores", 5, "cores serving Rx flows")
@@ -60,6 +68,9 @@ func main() {
 	storagedevs := flag.Int("storagedevs", 0, "co-tenant storage devices (default 1 when -storage is set)")
 	nics := flag.Int("nics", 0, "extra co-tenant NIC datapaths")
 	devmode := flag.String("devmode", "", "co-tenant device protection mode (default: -mode)")
+	faults := flag.String("faults", "", "fault plan: campaign intensity or key=value spec (implies -audit)")
+	faultseed := flag.Int64("faultseed", 0, "fault-injector seed (0: inherit -seed)")
+	audit := flag.Bool("audit", false, "cross-check every DMA translation against the live page table")
 	flag.Parse()
 
 	m, err := core.ParseMode(*mode)
@@ -70,6 +81,13 @@ func main() {
 	if *seeds < 1 {
 		fmt.Fprintln(os.Stderr, "fssim: -seeds must be >= 1")
 		os.Exit(2)
+	}
+	var plan fault.Plan
+	if *faults != "" {
+		if plan, err = fault.Parse(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "fssim:", err)
+			os.Exit(2)
+		}
 	}
 
 	var devMode *core.Mode
@@ -119,6 +137,9 @@ func main() {
 			Seed:            s,
 			MemHogGBps:      *memhog,
 			Topology:        topo,
+			Faults:          plan,
+			FaultSeed:       *faultseed,
+			Audit:           *audit,
 			Telemetry: host.TelemetryConfig{
 				SampleEvery: sampleEvery,
 				TraceL3:     *trace,
@@ -152,6 +173,9 @@ func main() {
 			fmt.Printf("%3.0f%% ", u*100)
 		}
 		fmt.Println()
+		if r.Safety != nil {
+			fmt.Printf("safety: %s (%d faults injected)\n", r.Safety, r.FaultsInjected)
+		}
 		if multidev {
 			fmt.Println(r.DeviceTable())
 		}

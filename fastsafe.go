@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/host"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
@@ -36,6 +37,11 @@ const (
 	Persistent Mode = "persistent"
 	// FNSHuge is F&S over 2MB hugepage-backed descriptors (§5 future work).
 	FNSHuge Mode = "fns+huge"
+	// DeferNoShootdown is a deliberately unsafe strawman: F&S's deferred
+	// frees without the IOTLB shootdowns. It exists so fault-injection
+	// audits (Options.Faults) have a mode that provably serves stale
+	// translations; it is excluded from Modes().
+	DeferNoShootdown Mode = "defer-noshootdown"
 )
 
 // Modes lists every implemented protection mode.
@@ -76,6 +82,23 @@ type Options struct {
 	// with the primary NIC. Their interference shows up both in the
 	// top-level (primary NIC) metrics and in Report.Devices.
 	Devices []DeviceOptions
+
+	// Faults enables deterministic fault injection. A bare number is a
+	// canonical-campaign intensity ("1" ≈ the paper-grade adversarial
+	// run); otherwise a comma-separated key=value spec, e.g.
+	// "invdrop=0.02,straydma=0.05,linkflap=3ms" (see internal/fault.Parse
+	// for the full key list). Empty disables injection and leaves every
+	// simulation byte-identical to a build without the fault layer.
+	Faults string
+	// FaultSeed seeds the injector's private RNG stream independently of
+	// Seed; 0 inherits Seed. Same Options + same FaultSeed replays the
+	// identical fault sequence.
+	FaultSeed int64
+	// Audit cross-checks every completed device translation against the
+	// live page table and reports the tally in Report.Safety. Implied by
+	// Faults; on its own it audits a fault-free run (zero overhead on
+	// simulated time — the auditor is an observer).
+	Audit bool
 }
 
 // DeviceOptions describes one co-tenant DMA device.
@@ -117,6 +140,13 @@ func (o Options) validate() error {
 		return fmt.Errorf("fastsafe: WarmupMS must be >= 0, got %d", o.WarmupMS)
 	case o.MeasureMS < 0:
 		return fmt.Errorf("fastsafe: MeasureMS must be >= 0, got %d", o.MeasureMS)
+	case o.FaultSeed < 0:
+		return fmt.Errorf("fastsafe: FaultSeed must be >= 0, got %d", o.FaultSeed)
+	}
+	if o.Faults != "" {
+		if _, err := fault.Parse(o.Faults); err != nil {
+			return fmt.Errorf("fastsafe: %w", err)
+		}
 	}
 	for i, d := range o.Devices {
 		switch d.Kind {
@@ -160,6 +190,13 @@ type Report struct {
 	StaleIOTLBUses int64
 	StalePTUses    int64
 
+	// FaultsInjected counts the faults the injector fired inside the
+	// measurement window (zero without Options.Faults).
+	FaultsInjected int64
+	// Safety is the translation audit over the measurement window; nil
+	// unless Options.Audit or Options.Faults enabled the auditor.
+	Safety *SafetyReport
+
 	// RxDMALatency and TxDMALatency summarise the primary NIC's PCIe DMA
 	// completion latencies over the measurement window.
 	RxDMALatency LatencyReport
@@ -181,6 +218,22 @@ type Series struct {
 	TimesNS []int64
 	Values  []float64
 }
+
+// SafetyReport tallies the translation audit: every completed device DMA
+// cross-checked against the live page table. StaleUnmapped and
+// StaleRemapped are safety violations — Blocked and Retries are the
+// protection working as designed.
+type SafetyReport struct {
+	Checked       int64 // translations audited
+	Blocked       int64 // DMAs the IOMMU rejected (no live mapping)
+	StaleUnmapped int64 // DMAs served from a stale cache after unmap
+	StaleRemapped int64 // DMAs served to the wrong page after IOVA reuse
+	Retries       int64 // benign driver retries caused by injected faults
+}
+
+// Violations is the count of stale-served DMAs — the number the paper's
+// safety claim requires to be zero for strict and F&S.
+func (s SafetyReport) Violations() int64 { return s.StaleUnmapped + s.StaleRemapped }
 
 // LatencyReport summarises one latency distribution in microseconds.
 type LatencyReport struct {
@@ -246,6 +299,13 @@ func Simulate(o Options) (Report, error) {
 			topo.NICs = append(topo.NICs, host.NICSpec{Mode: devMode})
 		}
 	}
+	var plan fault.Plan
+	if o.Faults != "" {
+		plan, err = fault.Parse(o.Faults)
+		if err != nil {
+			return Report{}, fmt.Errorf("fastsafe: %w", err)
+		}
+	}
 	h, err := host.New(host.Config{
 		Mode:        m,
 		RxFlows:     o.Flows,
@@ -257,6 +317,9 @@ func Simulate(o Options) (Report, error) {
 		MemHogGBps:  o.MemHogGBps,
 		MemHogStart: sim.Duration(o.MemHogStartMS) * sim.Millisecond,
 		Topology:    topo,
+		Faults:      plan,
+		FaultSeed:   o.FaultSeed,
+		Audit:       o.Audit,
 		Telemetry: host.TelemetryConfig{
 			SampleEvery: sim.Duration(o.SampleUS) * sim.Microsecond,
 		},
@@ -287,8 +350,18 @@ func Simulate(o Options) (Report, error) {
 		MemUtilization:     r.MemUtil,
 		StaleIOTLBUses:     r.StaleIOTLB,
 		StalePTUses:        r.StalePT,
+		FaultsInjected:     r.FaultsInjected,
 		RxDMALatency:       latencyReport(r.Latencies.RxDMA),
 		TxDMALatency:       latencyReport(r.Latencies.TxDMA),
+	}
+	if r.Safety != nil {
+		rep.Safety = &SafetyReport{
+			Checked:       r.Safety.Checked,
+			Blocked:       r.Safety.Blocked,
+			StaleUnmapped: r.Safety.StaleUnmapped,
+			StaleRemapped: r.Safety.StaleRemapped,
+			Retries:       r.Safety.Retries,
+		}
 	}
 	for _, s := range r.Timeline {
 		out := Series{Name: s.Name, Values: append([]float64(nil), s.Values...)}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fastsafe/internal/fault"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/iova"
 	"fastsafe/internal/ptable"
@@ -79,6 +80,12 @@ type Config struct {
 	DefaultDomain bool
 	TraceL3       bool // record PTcache-L3 reuse-distance trace at allocation
 	TraceLimit    int  // max trace points (0 = unlimited)
+	// Faults, when non-nil, injects invalidation-queue and allocator
+	// faults into this domain's datapaths (see internal/fault). Nil — the
+	// default — leaves every datapath byte-identical to the pre-fault
+	// code: all fault hooks sit behind nil checks and consume no
+	// randomness.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +215,11 @@ func NewDomain(cfg Config) *Domain {
 	if cfg.TraceL3 {
 		d.trace = stats.NewReuseTrace(cfg.TraceLimit)
 	}
+	if cfg.Faults != nil {
+		// Forced rcache flushes (allocator pressure) target every domain
+		// attached to the plan.
+		cfg.Faults.AttachFlusher(d.alloc.FlushRCaches)
+	}
 	return d
 }
 
@@ -246,6 +258,12 @@ func (d *Domain) newPhys() ptable.Phys {
 // allocIOVA allocates a range and returns its base plus the CPU cost,
 // recording the locality trace per 4KB page in NIC access order.
 func (d *Domain) allocIOVA(cpu, pages int) (ptable.IOVA, sim.Duration, error) {
+	var fcost sim.Duration
+	if inj := d.cfg.Faults; inj != nil && inj.FailAlloc(d.domID) {
+		// Transient allocator failure: the driver backs off and retries
+		// through the slow tree path before succeeding below.
+		fcost = d.cfg.Costs.TreeAlloc
+	}
 	before := d.alloc.Stats()
 	base, ok := d.alloc.Alloc(cpu, pages)
 	if !ok {
@@ -258,7 +276,47 @@ func (d *Domain) allocIOVA(cpu, pages int) (ptable.IOVA, sim.Duration, error) {
 			d.cfg.Costs.TreeNodeVisit*sim.Duration(after.NodesVisited-before.NodesVisited)
 	}
 	d.c.IOVAAllocs++
-	return base, cost, nil
+	return base, cost + fcost, nil
+}
+
+// invalidate submits one invalidation-queue request covering
+// [base, base+pages*4KB) and models the driver waiting for its
+// completion, including injected faults: a delayed completion stalls the
+// driver, a lost one stalls until the driver's timeout fires and the
+// request is resubmitted. The cache effects are applied regardless — a
+// lost *completion* does not un-invalidate anything — so every mode that
+// waits for completion stays safe and the injection surfaces only as
+// extra CPU time plus a benign retry in the audit report.
+func (d *Domain) invalidate(base ptable.IOVA, pages int, iotlbOnly bool) sim.Duration {
+	d.mmu.InvalidateIn(d.domID, base, pages, iotlbOnly)
+	cost := d.cfg.Costs.InvRequest
+	d.c.InvRequests++
+	if inj := d.cfg.Faults; inj != nil {
+		cost += inj.DelayInv(d.domID)
+		if inj.DropInv(d.domID) {
+			d.mmu.InvalidateIn(d.domID, base, pages, iotlbOnly)
+			cost += inj.Plan().InvTimeout + d.cfg.Costs.InvRequest
+			d.c.InvRequests++
+		}
+	}
+	return cost
+}
+
+// flushInvalidate is invalidate's analogue for the deferred-mode global
+// flush (one flush-all invalidation-queue request).
+func (d *Domain) flushInvalidate() sim.Duration {
+	d.mmu.FlushAll()
+	cost := d.cfg.Costs.InvRequest
+	d.c.InvRequests++
+	if inj := d.cfg.Faults; inj != nil {
+		cost += inj.DelayInv(d.domID)
+		if inj.DropInv(d.domID) {
+			d.mmu.FlushAll()
+			cost += inj.Plan().InvTimeout + d.cfg.Costs.InvRequest
+			d.c.InvRequests++
+		}
+	}
+	return cost
 }
 
 // freeIOVA releases a range back to the allocator. With a free pool
@@ -359,9 +417,11 @@ func (d *Domain) MapRxDescriptor(cpu int) (*Descriptor, sim.Duration, error) {
 			d.c.PagesMapped++
 		}
 
-	case StrictContig, FNS:
+	case StrictContig, FNS, DeferNoShootdown:
 		// F&S idea B: one descriptor-sized contiguous chunk, mapped page
-		// by page (Figure 4b) — no hardware or allocator changes.
+		// by page (Figure 4b) — no hardware or allocator changes. The
+		// DeferNoShootdown strawman maps identically; it only differs on
+		// the unmap side (no shootdown).
 		base, c, err := d.allocIOVA(cpu, pages)
 		if err != nil {
 			return nil, 0, err
@@ -416,13 +476,11 @@ func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
 			}
 			cost += d.cfg.Costs.UnmapPage
 			d.c.PagesUnmapped++
-			d.mmu.InvalidateIn(d.domID, v, 1, iotlbOnly)
+			cost += d.invalidate(v, 1, iotlbOnly)
 			if iotlbOnly && len(res.Reclaimed) > 0 {
 				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
 				d.c.Reclaims += int64(len(res.Reclaimed))
 			}
-			cost += d.cfg.Costs.InvRequest
-			d.c.InvRequests++
 			cost += d.freeIOVA(desc.cpu, v, 1)
 		}
 
@@ -450,13 +508,25 @@ func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
 		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
 		d.c.PagesUnmapped += int64(pages)
 		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
-		d.mmu.InvalidateIn(d.domID, desc.base, pages, iotlbOnly)
+		cost += d.invalidate(desc.base, pages, iotlbOnly)
 		if iotlbOnly && len(res.Reclaimed) > 0 {
 			d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
 			d.c.Reclaims += int64(len(res.Reclaimed))
 		}
-		cost += d.cfg.Costs.InvRequest
-		d.c.InvRequests++
+		cost += d.freeIOVA(desc.cpu, desc.base, pages)
+
+	case DeferNoShootdown:
+		// The unsafe strawman: ranged unmap like FNS, but no invalidation
+		// is ever submitted and the IOVAs recycle immediately. Cached
+		// IOTLB/PTcache entries survive past the unmap, so a later DMA —
+		// stray or legitimate after recycling — can be served stale. The
+		// safety auditor exists to catch exactly this.
+		pages := len(desc.IOVAs)
+		if _, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize); err != nil {
+			return cost, err
+		}
+		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
+		d.c.PagesUnmapped += int64(pages)
 		cost += d.freeIOVA(desc.cpu, desc.base, pages)
 
 	default:
@@ -474,9 +544,7 @@ func (d *Domain) maybeFlushDeferred() sim.Duration {
 	if len(d.deferredPending) < d.cfg.DeferredLimit {
 		return 0
 	}
-	d.mmu.FlushAll()
-	var cost sim.Duration = d.cfg.Costs.InvRequest
-	d.c.InvRequests++
+	cost := d.flushInvalidate()
 	d.c.DeferredFlushes++
 	for _, p := range d.deferredPending {
 		cost += d.freeIOVA(p.cpu, p.base, p.pages)
@@ -496,9 +564,7 @@ func (d *Domain) FlushDeferred() sim.Duration {
 	if d.cfg.Mode != Deferred || len(d.deferredPending) == 0 {
 		return 0
 	}
-	d.mmu.FlushAll()
-	cost := d.cfg.Costs.InvRequest
-	d.c.InvRequests++
+	cost := d.flushInvalidate()
 	d.c.DeferredFlushes++
 	for _, p := range d.deferredPending {
 		cost += d.freeIOVA(p.cpu, p.base, p.pages)

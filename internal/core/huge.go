@@ -95,9 +95,7 @@ func (d *Domain) unmapRxDescriptorHuge(desc *Descriptor) (sim.Duration, error) {
 		}
 		cost += d.cfg.Costs.UnmapPage // a single page-table entry
 		d.c.PagesUnmapped += int64(hugePages)
-		d.mmu.InvalidateIn(d.domID, hc.base, hugePages, true)
-		cost += d.cfg.Costs.InvRequest
-		d.c.InvRequests++
+		cost += d.invalidate(hc.base, hugePages, true)
 		cost += d.freeIOVA(desc.cpu, hc.rawBase, hc.rawPages)
 		if d.hugeRx[desc.cpu] == hc {
 			d.hugeRx[desc.cpu] = nil

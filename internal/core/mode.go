@@ -56,17 +56,25 @@ const (
 	// deferred/persistent, weaker than strict's per-descriptor guarantee.
 	// The Tx datapath is unchanged from FNS.
 	FNSHuge
+	// DeferNoShootdown is a deliberately unsafe strawman for the fault
+	// layer's audit campaigns: contiguous unmaps like FNS, but no
+	// invalidation is ever submitted — "deferred without the shootdown".
+	// IOVAs recycle immediately while IOTLB/PTcache entries survive, so
+	// the safety auditor must flag stale-served DMAs. It exists to prove
+	// the auditor has teeth and is deliberately excluded from Modes().
+	DeferNoShootdown
 )
 
 var modeNames = map[Mode]string{
-	Off:            "off",
-	Strict:         "strict",
-	Deferred:       "deferred",
-	StrictPreserve: "strict+preserve",
-	StrictContig:   "strict+contig",
-	FNS:            "fns",
-	Persistent:     "persistent",
-	FNSHuge:        "fns+huge",
+	Off:              "off",
+	Strict:           "strict",
+	Deferred:         "deferred",
+	StrictPreserve:   "strict+preserve",
+	StrictContig:     "strict+contig",
+	FNS:              "fns",
+	Persistent:       "persistent",
+	FNSHuge:          "fns+huge",
+	DeferNoShootdown: "defer-noshootdown",
 }
 
 func (m Mode) String() string {
@@ -104,7 +112,9 @@ func (m Mode) StrictSafety() bool {
 
 // Contiguous reports whether the mode allocates descriptor-sized (or
 // larger) contiguous IOVA chunks.
-func (m Mode) Contiguous() bool { return m == StrictContig || m == FNS || m == FNSHuge }
+func (m Mode) Contiguous() bool {
+	return m == StrictContig || m == FNS || m == FNSHuge || m == DeferNoShootdown
+}
 
 // PreservesPTCaches reports whether invalidations keep the page-table
 // caches (F&S idea A).
@@ -113,6 +123,8 @@ func (m Mode) PreservesPTCaches() bool {
 }
 
 // Modes lists all implemented modes in presentation order.
+// DeferNoShootdown is deliberately absent: it is a fault-campaign
+// strawman, not a design point the figures compare.
 func Modes() []Mode {
 	return []Mode{Off, Strict, Deferred, StrictPreserve, StrictContig, FNS, Persistent, FNSHuge}
 }

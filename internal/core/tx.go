@@ -70,7 +70,7 @@ func (d *Domain) MapTx(cpu, pages int) (*TxMapping, sim.Duration, error) {
 			m.IOVAs = append(m.IOVAs, v)
 		}
 
-	case StrictContig, FNS, FNSHuge:
+	case StrictContig, FNS, FNSHuge, DeferNoShootdown:
 		for i := 0; i < pages; i++ {
 			ch := d.txChunks[cpu]
 			if ch == nil || ch.next == ch.pages {
@@ -138,13 +138,11 @@ func (d *Domain) UnmapTx(m *TxMapping) (sim.Duration, error) {
 			}
 			cost += d.cfg.Costs.UnmapPage
 			d.c.PagesUnmapped++
-			d.mmu.InvalidateIn(d.domID, v, 1, iotlbOnly)
+			cost += d.invalidate(v, 1, iotlbOnly)
 			if iotlbOnly && len(res.Reclaimed) > 0 {
 				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
 				d.c.Reclaims += int64(len(res.Reclaimed))
 			}
-			cost += d.cfg.Costs.InvRequest
-			d.c.InvRequests++
 			cost += d.freeIOVA(d.txFreeCPU(m.cpu), v, 1)
 		}
 
@@ -178,14 +176,40 @@ func (d *Domain) UnmapTx(m *TxMapping) (sim.Duration, error) {
 			}
 			cost += d.cfg.Costs.UnmapPage * sim.Duration(run)
 			d.c.PagesUnmapped += int64(run)
-			d.mmu.InvalidateIn(d.domID, m.IOVAs[i], run, iotlbOnly)
+			cost += d.invalidate(m.IOVAs[i], run, iotlbOnly)
 			if iotlbOnly && len(res.Reclaimed) > 0 {
 				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
 				d.c.Reclaims += int64(len(res.Reclaimed))
 			}
-			cost += d.cfg.Costs.InvRequest
-			d.c.InvRequests++
 			// Release chunk slots; free the chunk once fully released.
+			ch := m.chunks[i]
+			ch.released += run
+			if ch.released == ch.pages {
+				cost += d.freeIOVA(d.txFreeCPU(m.cpu), ch.base, ch.pages)
+				if d.txChunks[m.cpu] == ch {
+					d.txChunks[m.cpu] = nil
+				}
+			}
+			i = j
+		}
+
+	case DeferNoShootdown:
+		// The unsafe strawman: ranged unmaps like FNS but no invalidation
+		// requests, chunk slots recycle immediately.
+		i := 0
+		for i < len(m.IOVAs) {
+			j := i + 1
+			for j < len(m.IOVAs) &&
+				m.IOVAs[j] == m.IOVAs[j-1]+ptable.PageSize &&
+				m.chunks[j] == m.chunks[i] {
+				j++
+			}
+			run := j - i
+			if _, err := d.table.Unmap(m.IOVAs[i], uint64(run)*ptable.PageSize); err != nil {
+				return cost, err
+			}
+			cost += d.cfg.Costs.UnmapPage * sim.Duration(run)
+			d.c.PagesUnmapped += int64(run)
 			ch := m.chunks[i]
 			ch.released += run
 			if ch.released == ch.pages {

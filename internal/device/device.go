@@ -15,6 +15,7 @@ package device
 
 import (
 	"fastsafe/internal/core"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/pcie"
 	"fastsafe/internal/sim"
@@ -41,6 +42,11 @@ type Host interface {
 	// the core drains to it and returns the CPU time to charge; done (if
 	// non-nil) runs after the work completes.
 	Exec(cpu int, work func() sim.Duration, done func())
+	// Faults returns the host's fault injector, nil when no fault plan
+	// is active. Devices derive their misbehaviour hooks from it
+	// (injector.Device(dom)); every derived hook is nil-safe, so devices
+	// need no further guards.
+	Faults() *fault.Injector
 }
 
 // Device is one DMA device attached to a host.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/pcie"
 	"fastsafe/internal/ptable"
 	"fastsafe/internal/sim"
@@ -24,6 +25,7 @@ type Storage struct {
 	h        Host
 	dom      *core.Domain // own protection domain, shared IOMMU
 	link     *pcie.Link
+	faults   *fault.Device
 	interval sim.Duration
 	blocks   int64
 	bytes    int64
@@ -81,6 +83,7 @@ func (s *Storage) Attach(h Host) error {
 		Mode:    s.cfg.Mode,
 		NumCPUs: 1,
 	}, s.cfg.SeedOffset)
+	s.faults = h.Faults().Device(s.dom)
 	return nil
 }
 
@@ -105,12 +108,14 @@ func (s *Storage) issue() {
 	}, func() {
 		reads := 0
 		if s.dom.Mode().Translated() {
+			s.faults.Observe(m.IOVAs[0])
 			for off := 0; off < s.cfg.BlockBytes; off += 512 {
 				page := off / 4096
 				v := m.IOVAs[page] + ptable.IOVA(off%4096)
 				tr := s.dom.Translate(v)
 				reads += tr.MemReads
 			}
+			reads += s.faults.MaybeMisbehave()
 		}
 		s.link.Submit(s.cfg.BlockBytes, reads, func() {
 			s.blocks++

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/host"
 	"fastsafe/internal/model"
 	"fastsafe/internal/runner"
@@ -830,6 +831,73 @@ func CPUCost(o Options) Table {
 	return t
 }
 
+// Faults is the adversarial safety campaign: the canonical fault plan
+// (internal/fault.Campaign) swept over intensity for Linux strict, F&S,
+// and the deliberately unsafe defer-noshootdown strawman, with the
+// translation auditor cross-checking every DMA against the live page
+// table. The paper's safety claim is the strict and fns rows: zero
+// stale-served DMAs at every intensity, while F&S retains ≥95% of its
+// fault-free goodput. The strawman rows must show nonzero stale_served —
+// the proof the auditor can actually see violations.
+func Faults(o Options) Table {
+	t := Table{ID: "faults", Title: "Fault-injection safety campaign: stale-served DMAs under the audit layer (extension)",
+		Header: []string{"mode", "intensity", "rx_gbps", "goodput_vs_clean", "injected", "checked", "blocked", "stale_served", "retries"}}
+	type cfg struct {
+		mode core.Mode
+		x    float64
+	}
+	var cfgs []cfg
+	for _, mode := range []core.Mode{core.Strict, core.FNS, core.DeferNoShootdown} {
+		for _, x := range []float64{0, 0.5, 1} {
+			cfgs = append(cfgs, cfg{mode, x})
+		}
+	}
+	jobs := make([]runner.Job[host.Results], len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		jobs[i] = func(context.Context) (host.Results, error) {
+			s := workload.Iperf(c.mode, 0, 0)
+			s.Host.Faults = fault.Campaign(c.x)
+			s.Host.FaultSeed = 1
+			s.Host.Audit = true
+			h, err := host.New(s.Host)
+			if err != nil {
+				return host.Results{}, err
+			}
+			return h.Run(o.Warmup, o.Measure), nil
+		}
+	}
+	cells, err := runner.Collect(context.Background(), runner.Config{Workers: o.Parallel}, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: faults: %v", err))
+	}
+	// Each mode's intensity-0 cell is its fault-free baseline.
+	clean := map[core.Mode]float64{}
+	for i, c := range cells {
+		if cfgs[i].x == 0 {
+			clean[cfgs[i].mode] = c.RxGbps
+		}
+	}
+	for i, c := range cells {
+		ratio := 0.0
+		if base := clean[cfgs[i].mode]; base > 0 {
+			ratio = c.RxGbps / base
+		}
+		var s fault.SafetyReport
+		if c.Safety != nil {
+			s = *c.Safety
+		}
+		t.Rows = append(t.Rows, []string{
+			cfgs[i].mode.String(), f2(cfgs[i].x),
+			f1(c.RxGbps), f2(ratio),
+			fmt.Sprintf("%d", c.FaultsInjected),
+			fmt.Sprintf("%d", s.Checked), fmt.Sprintf("%d", s.Blocked),
+			fmt.Sprintf("%d", s.Violations()), fmt.Sprintf("%d", s.Retries),
+		})
+	}
+	return t
+}
+
 // All runs every figure and extension table. Each figure fans its own
 // cells across the worker pool; cmd/fsbench additionally runs whole
 // figures concurrently.
@@ -841,7 +909,7 @@ func All(o Options) []Table {
 		Fig11a(o), Fig11b(o), Fig11c(o),
 		Fig12(o), Model(o), Deferred(o), DescriptorSizes(o), CacheSizes(o),
 		Hugepages(o), MemoryLatency(o), Seeds(o), Storage(o), MemoryHog(o),
-		Timeline(o), CPUCost(o),
+		Timeline(o), CPUCost(o), Faults(o),
 	}
 }
 
@@ -856,7 +924,7 @@ func ByID(id string, o Options) (Table, error) {
 		"descsize": DescriptorSizes, "ptcache": CacheSizes, "huge": Hugepages,
 		"memlat": MemoryLatency, "seeds": Seeds, "storage": Storage,
 		"multidev": Multidev, "memhog": MemoryHog, "timeline": Timeline,
-		"cpucost": CPUCost,
+		"cpucost": CPUCost, "faults": Faults,
 	}
 	f, ok := fns[id]
 	if !ok {
@@ -871,6 +939,6 @@ func IDs() []string {
 		"fig2", "fig2e", "fig3", "fig3e", "fig7", "fig7e", "fig8", "fig8e",
 		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
 		"model", "modes", "descsize", "ptcache", "huge", "memlat", "seeds",
-		"storage", "multidev", "memhog", "timeline", "cpucost",
+		"storage", "multidev", "memhog", "timeline", "cpucost", "faults",
 	}
 }

@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"fmt"
+
+	"fastsafe/internal/iommu"
+	"fastsafe/internal/ptable"
+	"fastsafe/internal/stats"
+)
+
+// SafetyReport classifies every audited translation. The paper's safety
+// claim is exactly Violations() == 0: the hardware may block a bad DMA
+// (a fault, visible and recoverable) and the driver may retry around an
+// injected fault (benign), but no DMA may ever be served from a stale
+// mapping.
+type SafetyReport struct {
+	Checked       int64 // translations audited
+	Blocked       int64 // translation faulted — hardware blocked the access
+	StaleUnmapped int64 // served from a cached entry for an unmapped IOVA
+	StaleRemapped int64 // served a stale physical page for a since-remapped IOVA
+	Retries       int64 // benign driver retries provoked by injected faults
+}
+
+// Violations counts true safety violations: DMAs the IOMMU let through
+// to memory the current page table does not map them to.
+func (r SafetyReport) Violations() int64 { return r.StaleUnmapped + r.StaleRemapped }
+
+// Sub returns the window delta r−b (both taken from the same auditor).
+func (r SafetyReport) Sub(b SafetyReport) SafetyReport {
+	return SafetyReport{
+		Checked:       r.Checked - b.Checked,
+		Blocked:       r.Blocked - b.Blocked,
+		StaleUnmapped: r.StaleUnmapped - b.StaleUnmapped,
+		StaleRemapped: r.StaleRemapped - b.StaleRemapped,
+		Retries:       r.Retries - b.Retries,
+	}
+}
+
+func (r SafetyReport) String() string {
+	return fmt.Sprintf("checked=%d blocked=%d stale_unmapped=%d stale_remapped=%d retries=%d violations=%d",
+		r.Checked, r.Blocked, r.StaleUnmapped, r.StaleRemapped, r.Retries, r.Violations())
+}
+
+// Auditor cross-checks every completed translation against the live IO
+// page table, the simulator's ground truth. It sees three signals:
+//
+//   - !OK: the IOMMU faulted — the access never reached memory (Blocked).
+//   - Stale: the IOMMU served a cached entry whose IOVA is no longer
+//     mapped — a freed-memory DMA (StaleUnmapped).
+//   - neither, but the physical page the translation returned differs
+//     from what the live table maps the IOVA to — the IOVA was recycled
+//     and remapped while a cached entry survived, so the DMA landed in
+//     another buffer's memory (StaleRemapped). This is the violation the
+//     IOMMU itself cannot see: the IOVA looks mapped, just not there.
+//
+// The audit is a pure read of the page table (Lookup/LookupHugeAware
+// mutate nothing), so enabling it perturbs no counters, costs, or cache
+// state — audited and unaudited runs are byte-identical.
+type Auditor struct {
+	mmu    *iommu.IOMMU
+	global SafetyReport
+	perDom map[iommu.DomainID]*SafetyReport
+}
+
+// NewAuditor installs the audit hook on the shared IOMMU and returns the
+// auditor owning the resulting reports.
+func NewAuditor(mmu *iommu.IOMMU) *Auditor {
+	a := &Auditor{mmu: mmu, perDom: make(map[iommu.DomainID]*SafetyReport)}
+	mmu.SetAuditHook(a.check)
+	return a
+}
+
+func (a *Auditor) domReport(d iommu.DomainID) *SafetyReport {
+	r, ok := a.perDom[d]
+	if !ok {
+		r = &SafetyReport{}
+		a.perDom[d] = r
+	}
+	return r
+}
+
+func (a *Auditor) check(d iommu.DomainID, v ptable.IOVA, t iommu.Translation) {
+	g, pd := &a.global, a.domReport(d)
+	g.Checked++
+	pd.Checked++
+	switch {
+	case !t.OK:
+		g.Blocked++
+		pd.Blocked++
+	case t.Stale:
+		g.StaleUnmapped++
+		pd.StaleUnmapped++
+	default:
+		// The IOMMU says this translation is fine. Verify against the
+		// live table: same physical page for both 4KB and huge leaves
+		// (LookupHugeAware returns the offset-adjusted huge phys, the
+		// same convention Translation.Phys uses).
+		if w, _, ok := a.mmu.TableOf(d).LookupHugeAware(v); !ok || w.Phys != t.Phys {
+			g.StaleRemapped++
+			pd.StaleRemapped++
+		}
+	}
+}
+
+// noteRetry attributes one benign driver retry to domain d.
+func (a *Auditor) noteRetry(d iommu.DomainID) {
+	if a == nil {
+		return
+	}
+	a.global.Retries++
+	a.domReport(d).Retries++
+}
+
+// Report returns the aggregate safety report; zero on nil.
+func (a *Auditor) Report() SafetyReport {
+	if a == nil {
+		return SafetyReport{}
+	}
+	return a.global
+}
+
+// ReportOf returns domain d's safety report; zero on nil or unknown d.
+func (a *Auditor) ReportOf(d iommu.DomainID) SafetyReport {
+	if a == nil {
+		return SafetyReport{}
+	}
+	if r, ok := a.perDom[d]; ok {
+		return *r
+	}
+	return SafetyReport{}
+}
+
+// RegisterProbes exposes the aggregate report under prefix
+// (e.g. "audit.").
+func (a *Auditor) RegisterProbes(r *stats.Registry, prefix string) {
+	if a == nil {
+		return
+	}
+	probe := func(name string, fn func(SafetyReport) int64) {
+		r.GaugeFunc(prefix+name, func() float64 { return float64(fn(a.global)) })
+	}
+	probe("checked", func(s SafetyReport) int64 { return s.Checked })
+	probe("blocked", func(s SafetyReport) int64 { return s.Blocked })
+	probe("stale_unmapped", func(s SafetyReport) int64 { return s.StaleUnmapped })
+	probe("stale_remapped", func(s SafetyReport) int64 { return s.StaleRemapped })
+	probe("retries", func(s SafetyReport) int64 { return s.Retries })
+	probe("violations", func(s SafetyReport) int64 { return s.Violations() })
+}

@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"testing"
+
+	"fastsafe/internal/sim"
+)
+
+func TestParseBareIntensityIsCampaign(t *testing.T) {
+	got, err := Parse("0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Campaign(0.5); got != want {
+		t.Fatalf("Parse(\"0.5\") = %+v, want Campaign(0.5) = %+v", got, want)
+	}
+	if p, err := Parse(""); err != nil || p.Enabled() {
+		t.Fatalf("Parse(\"\") = %+v, %v; want zero plan", p, err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := Parse("invdrop=0.1, straydma=0.05,linkflap=500us,memspike=1ms,memspikegbps=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		InvDrop:       0.1,
+		StrayDMA:      0.05,
+		LinkFlapEvery: 500 * sim.Microsecond,
+		MemSpikeEvery: sim.Millisecond,
+		MemSpikeGBps:  32,
+	}
+	if p != want {
+		t.Fatalf("Parse = %+v, want %+v", p, want)
+	}
+	if !p.Enabled() {
+		t.Fatal("parsed plan not Enabled")
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"-1",              // negative intensity
+		"invdrop=2",       // probability out of range
+		"invdrop",         // not key=value
+		"linkflap=xyz",    // not a duration
+		"linkflap=-1ms",   // negative duration
+		"memspikegbps=0",  // rate must be positive
+		"nosuchknob=0.5",  // unknown key
+		"straydma=banana", // not a float
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestDefaultsOnlyFillMagnitudes(t *testing.T) {
+	d := Plan{InvDrop: 0.1}.withDefaults()
+	if d.InvDelayBy == 0 || d.InvTimeout == 0 || d.WritebackDelayBy == 0 ||
+		d.LinkFlapFor == 0 || d.MemSpikeFor == 0 || d.MemSpikeGBps == 0 {
+		t.Fatalf("withDefaults left magnitude knobs zero: %+v", d)
+	}
+	if d.InvDrop != 0.1 || d.StrayDMA != 0 || d.LinkFlapEvery != 0 {
+		t.Fatalf("withDefaults changed rate/period knobs: %+v", d)
+	}
+}
+
+func TestZeroPlanBuildsNoInjector(t *testing.T) {
+	if Campaign(0).Enabled() {
+		t.Fatal("Campaign(0) is enabled")
+	}
+	eng := sim.NewEngine(1)
+	if inj := NewInjector(eng, Plan{}, 1); inj != nil {
+		t.Fatal("NewInjector built an injector for the zero plan")
+	}
+	// Every decision surface on a nil injector must be a safe no-op.
+	var inj *Injector
+	inj.Start()
+	inj.SetAuditor(nil)
+	if inj.DropInv(0) || inj.DelayInv(0) != 0 || inj.DelayWriteback() != 0 || inj.FailAlloc(0) {
+		t.Fatal("nil injector injected something")
+	}
+	if c := inj.Counters(); c != (Counters{}) {
+		t.Fatalf("nil injector counters = %+v", c)
+	}
+	if dev := inj.Device(nil); dev != nil {
+		t.Fatal("nil injector built a device")
+	}
+	var dev *Device
+	dev.Observe(0)
+	if dev.MaybeMisbehave() != 0 || dev.DupDescRead() || dev.DelayWriteback() != 0 {
+		t.Fatal("nil device injected something")
+	}
+}
+
+func TestSafetyReportArithmetic(t *testing.T) {
+	a := SafetyReport{Checked: 10, Blocked: 2, StaleUnmapped: 1, StaleRemapped: 1, Retries: 3}
+	b := SafetyReport{Checked: 4, Blocked: 1, Retries: 2}
+	d := a.Sub(b)
+	if d.Checked != 6 || d.Blocked != 1 || d.Retries != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if a.Violations() != 2 || d.Violations() != 2 {
+		t.Fatalf("Violations = %d / %d, want 2 / 2", a.Violations(), d.Violations())
+	}
+}

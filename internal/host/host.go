@@ -15,6 +15,7 @@ import (
 
 	"fastsafe/internal/core"
 	"fastsafe/internal/device"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/mem"
 	"fastsafe/internal/nic"
@@ -77,6 +78,20 @@ type Config struct {
 	// read-only over simulation state, so enabling it never changes
 	// simulated behaviour.
 	Telemetry TelemetryConfig
+
+	// Faults is the adversarial fault plan (see internal/fault). The
+	// zero plan is provably inert: no injector is built, no randomness
+	// consumed, no events scheduled — runs are byte-identical to a build
+	// without the fault layer.
+	Faults fault.Plan
+	// FaultSeed seeds the injector's private RNG; 0 uses Seed. Campaigns
+	// vary FaultSeed while holding Seed to replay one workload under
+	// many fault schedules.
+	FaultSeed int64
+	// Audit enables the translation safety auditor even with a zero
+	// plan (it is always on when Faults is enabled). The audit is a pure
+	// page-table read per translation — observation only.
+	Audit bool
 
 	Seed int64
 }
@@ -186,6 +201,8 @@ type Host struct {
 	walker *pcie.Walker
 	bus    *mem.Bus
 	tele   *Telemetry
+	inj    *fault.Injector // nil unless cfg.Faults is enabled
+	aud    *fault.Auditor  // nil unless auditing
 
 	storageCount int // storage devices attached so far (cpu/seed slots)
 	started      bool
@@ -200,6 +217,20 @@ func New(cfg Config) (*Host, error) {
 	h.walker = pcie.NewWalker(h.eng, cfg.Lm)
 	h.bus = mem.New(h.eng, mem.Config{})
 	h.walker.SetLatencyFactor(h.bus.LatencyFactor)
+	// Fault layer before any device attaches, so every domain and link
+	// created below is wired into it.
+	if cfg.Audit || cfg.Faults.Enabled() {
+		h.aud = fault.NewAuditor(h.mmu)
+	}
+	if cfg.Faults.Enabled() {
+		fseed := cfg.FaultSeed
+		if fseed == 0 {
+			fseed = cfg.Seed
+		}
+		h.inj = fault.NewInjector(h.eng, cfg.Faults, fseed)
+		h.inj.SetAuditor(h.aud)
+		h.inj.AttachBus(h.bus)
+	}
 	if cfg.MemHogGBps > 0 {
 		if cfg.MemHogStart > 0 {
 			h.eng.At(cfg.MemHogStart, func() { mem.NewHog(h.bus, cfg.MemHogGBps) })
@@ -297,6 +328,7 @@ func (h *Host) SharedIOMMU() *iommu.IOMMU { return h.mmu }
 func (h *Host) NewLink() *pcie.Link {
 	l := pcie.New(h.eng, h.cfg.L0, h.cfg.Lm, h.cfg.PCIeGbps)
 	l.AttachWalker(h.walker)
+	h.inj.AttachLink(l) // nil-safe: flap target when a plan is active
 	return l
 }
 
@@ -305,8 +337,16 @@ func (h *Host) NewLink() *pcie.Link {
 func (h *Host) NewDomain(cfg core.Config, seedOffset int64) *core.Domain {
 	cfg.SharedIOMMU = h.mmu
 	cfg.Seed = h.cfg.Seed + seedOffset
+	cfg.Faults = h.inj
 	return core.NewDomain(cfg)
 }
+
+// Faults implements device.Host: the host's injector, nil without a
+// plan. Safety auditing is exposed through Results.Safety.
+func (h *Host) Faults() *fault.Injector { return h.inj }
+
+// Auditor exposes the safety auditor (nil unless auditing).
+func (h *Host) Auditor() *fault.Auditor { return h.aud }
 
 // Exec implements device.Host: schedule driver work on host core cpu.
 func (h *Host) Exec(cpu int, work func() sim.Duration, done func()) {
@@ -358,6 +398,9 @@ func (h *Host) Start() {
 		}
 		d.Start()
 	}
+	// Periodic fault disturbances start after the workloads so their
+	// events interleave behind same-timestamp workload events.
+	h.inj.Start()
 	h.eng.After(200*sim.Microsecond, h.housekeeping)
 	// The sampler starts last: its read-only ticks interleave after the
 	// workload events already scheduled at each timestamp.

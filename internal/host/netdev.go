@@ -192,7 +192,7 @@ func (n *netDev) Attach(dh device.Host) error {
 		RingPackets: n.spec.RingPackets,
 		BufferBytes: cfg.NICBufferBytes,
 		ECNKBytes:   -1, // ECN marks come from the switch, not the NIC
-
+		Faults:      h.Faults().Device(n.dom),
 	}, n.dom, n.rx, n.tx, netExec{n})
 	if err != nil {
 		return fmt.Errorf("host: %w", err)

@@ -6,6 +6,7 @@ import (
 
 	"fastsafe/internal/core"
 	"fastsafe/internal/device"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/nic"
 	"fastsafe/internal/sim"
@@ -70,6 +71,14 @@ type Results struct {
 	// reproduces the global counters exactly.
 	Devices []DeviceResults
 
+	// Safety is the window's aggregate translation audit; nil unless the
+	// auditor ran (Config.Audit or an enabled fault plan). The paper's
+	// claim is Safety.Violations() == 0 for every strict-safety mode.
+	Safety *fault.SafetyReport
+	// FaultsInjected totals the window's injected faults (0 without a
+	// plan).
+	FaultsInjected int64
+
 	Trace *stats.ReuseTrace // PTcache-L3 locality trace, nil unless enabled
 }
 
@@ -93,6 +102,10 @@ type DeviceResults struct {
 	MissesPerPage float64 // shared-IOTLB misses per 4KB page of that payload
 	WalkReads     int64   // page-table memory reads its translations caused
 	Invalidations int64   // invalidation requests its domain submitted
+
+	// Safety is the device domain's translation audit for the window;
+	// nil unless the auditor ran.
+	Safety *fault.SafetyReport
 }
 
 // Percentiles returns P50/P90/P99/P99.9/P99.99 exchange latencies in ns.
@@ -145,6 +158,9 @@ type snapshot struct {
 	nicSt   nic.Stats
 	hostC   hostCounters
 	devs    []devSnap
+	aud     fault.SafetyReport
+	audDev  []fault.SafetyReport
+	faultC  fault.Counters
 	coreBsy []sim.Duration
 	rxBusy  sim.Duration
 	rxReads int64
@@ -170,6 +186,13 @@ func (h *Host) snap() snapshot {
 			st:  d.Stats(),
 		})
 	}
+	if h.aud != nil {
+		s.aud = h.aud.Report()
+		for _, d := range h.devices {
+			s.audDev = append(s.audDev, h.aud.ReportOf(d.Domain().ID()))
+		}
+	}
+	s.faultC = h.inj.Counters()
 	for _, c := range h.cores {
 		s.coreBsy = append(s.coreBsy, c.BusyTime())
 	}
@@ -299,7 +322,7 @@ func (h *Host) results(before, after snapshot) Results {
 		}
 		a := after.devs[i]
 		bytes := a.st.Bytes - b.st.Bytes
-		r.Devices = append(r.Devices, DeviceResults{
+		dr := DeviceResults{
 			Name:          d.Name(),
 			Kind:          d.Kind(),
 			Mode:          d.Domain().Mode(),
@@ -307,8 +330,23 @@ func (h *Host) results(before, after snapshot) Results {
 			MissesPerPage: stats.PerPage(a.mmu.IOTLBMisses-b.mmu.IOTLBMisses, bytes),
 			WalkReads:     a.mmu.MemReads - b.mmu.MemReads,
 			Invalidations: a.mmu.InvRequests - b.mmu.InvRequests,
-		})
+		}
+		if h.aud != nil {
+			var bs fault.SafetyReport
+			if i < len(before.audDev) {
+				bs = before.audDev[i]
+			}
+			sr := after.audDev[i].Sub(bs)
+			dr.Safety = &sr
+		}
+		r.Devices = append(r.Devices, dr)
 	}
+
+	if h.aud != nil {
+		sr := after.aud.Sub(before.aud)
+		r.Safety = &sr
+	}
+	r.FaultsInjected = after.faultC.Total() - before.faultC.Total()
 
 	r.Trace = h.net.dom.Trace()
 	return r

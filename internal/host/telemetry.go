@@ -44,6 +44,8 @@ type TelemetryConfig struct {
 //	<dev>.pcie.tx.*     likewise for Tx
 //	<dev>.flow<i>.*     per-flow congestion state (NICs only)
 //	rpc.*               request/response workload (latency_ns histogram)
+//	fault.*             injected-fault tallies (only with a fault plan)
+//	audit.*             translation safety audit (only when auditing)
 type Telemetry struct {
 	h       *Host
 	reg     *stats.Registry
@@ -60,6 +62,8 @@ func newTelemetry(h *Host) *Telemetry {
 	h.mmu.RegisterProbes(r, "iommu.")
 	h.bus.RegisterProbes(r, "mem.")
 	h.walker.RegisterProbes(r, "walker.")
+	h.inj.RegisterProbes(r, "fault.") // nil-safe: absent without a plan
+	h.aud.RegisterProbes(r, "audit.") // nil-safe: absent unless auditing
 	for _, d := range h.devices {
 		t.addDevice(d)
 	}

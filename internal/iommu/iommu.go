@@ -98,6 +98,17 @@ type IOMMU struct {
 	// device layer reports. Every counter increment lands in both, so
 	// summing CountersOf over Domains always reproduces Counters.
 	perDom map[DomainID]*Counters
+	// audit, when set, observes every completed translation after the
+	// counters are charged. The hook must not mutate IOMMU or table
+	// state — it is a ground-truth check, not part of the pipeline.
+	audit func(DomainID, ptable.IOVA, Translation)
+}
+
+// SetAuditHook installs fn to observe every TranslateIn result (nil
+// uninstalls). The fault layer's safety auditor uses this to cross-check
+// translations against the live page table.
+func (m *IOMMU) SetAuditHook(fn func(DomainID, ptable.IOVA, Translation)) {
+	m.audit = fn
 }
 
 // New returns an IOMMU with a single default domain (id 0).
@@ -226,6 +237,9 @@ func (m *IOMMU) TranslateIn(d DomainID, v ptable.IOVA) Translation {
 	before := m.c
 	t := m.translateIn(d, v)
 	m.chargeDomain(d, before)
+	if m.audit != nil {
+		m.audit(d, v, t)
+	}
 	return t
 }
 

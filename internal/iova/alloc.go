@@ -298,6 +298,34 @@ func (a *CachedAllocator) Free(cpu int, base ptable.IOVA, pages int) {
 // Base exposes the underlying tree allocator (for tests and diagnostics).
 func (a *CachedAllocator) Base() *TreeAllocator { return a.base }
 
+// FlushRCaches empties every per-CPU magazine and the global depots back
+// into the tree, returning the number of IOVA ranges released. This is
+// Linux's free_cpu_cached_iovas/free_global_cached_iovas path, run on CPU
+// hotplug and under allocation pressure; the fault layer triggers it to
+// model rcache-defeating pressure spikes.
+func (a *CachedAllocator) FlushRCaches() int {
+	released := 0
+	for o, rc := range a.caches {
+		pages := 1 << o
+		drain := func(m *magazine) {
+			for !m.empty() {
+				pfn := m.pop()
+				a.base.Free(0, ptable.IOVA(pfn<<ptable.PageShift), pages)
+				released++
+			}
+		}
+		for _, pc := range rc.percpu {
+			drain(pc.loaded)
+			drain(pc.prev)
+		}
+		for _, m := range rc.depot {
+			drain(m)
+		}
+		rc.depot = rc.depot[:0]
+	}
+	return released
+}
+
 var (
 	_ Allocator = (*TreeAllocator)(nil)
 	_ Allocator = (*CachedAllocator)(nil)

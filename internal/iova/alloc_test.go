@@ -354,3 +354,44 @@ func TestCachedCrossDatapathMigrationDegradesLocality(t *testing.T) {
 		t.Fatal("expected Tx to recycle Rx IOVAs through the shared magazine")
 	}
 }
+
+func TestFlushRCachesReturnsEverythingToTree(t *testing.T) {
+	a := NewCached(2)
+	// Populate magazines on both CPUs and push one full magazine into the
+	// depot (MagSize+1 frees swap loaded->prev, more frees keep filling).
+	var vs []ptable.IOVA
+	for i := 0; i < 3*MagSize; i++ {
+		v, ok := a.Alloc(i%2, 1)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		vs = append(vs, v)
+	}
+	for i, v := range vs {
+		a.Free(i%2, v, 1)
+	}
+	cached := a.Stats().CacheFrees
+	if cached == 0 {
+		t.Fatal("setup cached nothing")
+	}
+	treeFreesBefore := a.Base().Stats().TreeFrees
+	released := a.FlushRCaches()
+	if released != len(vs) {
+		t.Fatalf("FlushRCaches released %d ranges, want %d", released, len(vs))
+	}
+	if got := a.Base().Stats().TreeFrees - treeFreesBefore; got != int64(len(vs)) {
+		t.Fatalf("tree absorbed %d frees, want %d", got, len(vs))
+	}
+	// Flushed magazines are empty: the next alloc must come from the tree.
+	tb := a.Base().Stats().TreeAllocs
+	if _, ok := a.Alloc(0, 1); !ok {
+		t.Fatal("alloc failed")
+	}
+	if a.Base().Stats().TreeAllocs != tb+1 {
+		t.Fatal("alloc after flush did not hit the tree")
+	}
+	// A second flush with empty caches is a no-op.
+	if n := a.FlushRCaches(); n != 0 {
+		t.Fatalf("second FlushRCaches released %d, want 0", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/fault"
 	"fastsafe/internal/pcie"
 	"fastsafe/internal/ptable"
 	"fastsafe/internal/sim"
@@ -50,6 +51,10 @@ type Config struct {
 	MPS         int // PCIe max payload size per transaction (default 512)
 	HeaderBytes int // per-frame link+transport header overhead (default 66)
 	StrideAlign int // frame placement alignment within a descriptor (default 256)
+	// Faults, when non-nil, makes this NIC misbehave per the fault plan:
+	// stray/wild DMA translations, duplicate descriptor fetches, delayed
+	// completion writebacks. Nil (the default) is a guaranteed no-op.
+	Faults *fault.Device
 }
 
 func (c Config) withDefaults() Config {
@@ -269,12 +274,18 @@ func (n *NIC) pumpRx() {
 					b := p.start + off
 					page := b / ptable.PageSize
 					v := p.desc.IOVAs[page] + ptable.IOVA(b%ptable.PageSize)
+					if t == 0 {
+						n.cfg.Faults.Observe(v)
+					}
 					tr := n.dom.Translate(v)
 					reads[i] += tr.MemReads
 				}
 				if !progress {
 					break
 				}
+			}
+			for i := range batch {
+				reads[i] += n.cfg.Faults.MaybeMisbehave()
 			}
 		}
 		for i, p := range batch {
@@ -321,6 +332,9 @@ func (n *NIC) ensureDescriptor(r *ring) bool {
 	r.curByte = 0
 	if n.dom.Mode().Translated() {
 		n.dom.Translate(r.ringIOVA) // descriptor fetch
+		if n.cfg.Faults.DupDescRead() {
+			n.dom.Translate(r.ringIOVA) // injected out-of-window duplicate
+		}
 	}
 	return true
 }
@@ -356,22 +370,32 @@ func (n *NIC) maybeRecycle(r *ring, desc *core.Descriptor) {
 		r.cur = nil
 		r.curByte = 0
 	}
-	n.exec.Do(r.cpu, func() sim.Duration {
-		unmapCost, err := n.dom.UnmapRxDescriptor(desc)
-		if err != nil {
-			panic(fmt.Sprintf("nic: unmap descriptor: %v", err))
-		}
-		fresh, mapCost, err := n.dom.MapRxDescriptor(r.cpu)
-		if err != nil {
-			panic(fmt.Sprintf("nic: replenish descriptor: %v", err))
-		}
-		delete(r.pending, desc)
-		delete(r.done, desc)
-		r.avail = append(r.avail, fresh)
-		return unmapCost + mapCost
-	}, func() {
-		n.pumpRx()
-	})
+	recycle := func() {
+		n.exec.Do(r.cpu, func() sim.Duration {
+			unmapCost, err := n.dom.UnmapRxDescriptor(desc)
+			if err != nil {
+				panic(fmt.Sprintf("nic: unmap descriptor: %v", err))
+			}
+			fresh, mapCost, err := n.dom.MapRxDescriptor(r.cpu)
+			if err != nil {
+				panic(fmt.Sprintf("nic: replenish descriptor: %v", err))
+			}
+			delete(r.pending, desc)
+			delete(r.done, desc)
+			r.avail = append(r.avail, fresh)
+			return unmapCost + mapCost
+		}, func() {
+			n.pumpRx()
+		})
+	}
+	// An injected late completion writeback delays the driver seeing the
+	// descriptor as done — the unmap happens later, never earlier, so
+	// this widens timing windows without ever weakening safety itself.
+	if delay := n.cfg.Faults.DelayWriteback(); delay > 0 {
+		n.eng.After(delay, recycle)
+	} else {
+		recycle()
+	}
 }
 
 // SendTx enqueues a Tx DMA: the NIC reads the packet out of host memory
@@ -393,6 +417,7 @@ func (n *NIC) pumpTx() {
 		n.txQueue = n.txQueue[1:]
 		reads := 0
 		if n.dom.Mode().Translated() && e.m != nil {
+			n.cfg.Faults.Observe(e.m.IOVAs[0])
 			for off := 0; off < e.pkt.Bytes+n.cfg.HeaderBytes; off += n.cfg.MPS {
 				page := off / ptable.PageSize
 				if page >= len(e.m.IOVAs) {
@@ -402,6 +427,7 @@ func (n *NIC) pumpTx() {
 				tr := n.dom.Translate(v)
 				reads += tr.MemReads
 			}
+			reads += n.cfg.Faults.MaybeMisbehave()
 		}
 		n.stats.TxDMAs++
 		n.stats.TxBytes += int64(e.pkt.Bytes)

@@ -110,6 +110,7 @@ type Link struct {
 	queue       []dma
 	serving     bool
 	outstanding int
+	stallUntil  sim.Time
 	stats       Stats
 	// lat records per-DMA completion latency (queue wait + service) in
 	// nanoseconds, feeding the telemetry registry's latency section.
@@ -139,6 +140,16 @@ func (l *Link) ServiceTime(bytes, memReads int) sim.Duration {
 	return ser
 }
 
+// Stall pauses service until the given virtual time: queued DMAs wait
+// and new submissions enqueue behind them — a transient link flap
+// (retraining, replay storms). In-flight service completes normally;
+// extending an earlier stall is allowed, shortening it is not.
+func (l *Link) Stall(until sim.Time) {
+	if until > l.stallUntil {
+		l.stallUntil = until
+	}
+}
+
 // Busy reports whether the server is occupied.
 func (l *Link) Busy() bool { return l.outstanding > 0 }
 
@@ -159,6 +170,12 @@ func (l *Link) Submit(bytes, memReads int, done func()) {
 func (l *Link) serve() {
 	if len(l.queue) == 0 {
 		l.serving = false
+		return
+	}
+	// A flapped link holds the head of the queue until the stall passes;
+	// serving stays true so Submit cannot double-enter the server.
+	if now := l.eng.Now(); now < l.stallUntil {
+		l.eng.At(l.stallUntil, l.serve)
 		return
 	}
 	d := l.queue[0]
