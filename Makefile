@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline \
-	faults bench-faults cover golden-check lint ci
+	faults bench-faults bench-cluster cover golden-check lint ci
 
 all: build
 
@@ -44,6 +44,9 @@ bench-timeline:
 
 bench-faults:
 	$(GO) run ./cmd/fsbench -fig faults -quick -json > BENCH_faults.json
+
+bench-cluster:
+	$(GO) run ./cmd/fsbench -fig cluster -quick -json > BENCH_cluster.json
 
 # The fault-campaign gate: safety figure plus the replay-determinism and
 # safety-property sweeps. FAULT_SEEDS widens the sweep (CI uses 64, the

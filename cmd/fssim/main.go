@@ -9,6 +9,16 @@
 //	fssim -mode fns -nics 1 -devmode strict   # second NIC, strict domain
 //	fssim -mode strict -memhog 12 -timeline   # per-interval series as CSV
 //	fssim -mode fns -faults 1 -faultseed 7    # canonical fault campaign
+//	fssim -hosts 8 -mode fns -traffic incast  # 8-host cluster, 7:1 incast
+//	fssim -hosts 4 -traffic alltoall -oversub 2   # oversubscribed core
+//
+// -hosts N (N >= 2) switches to cluster mode: N full hosts — each with
+// its own IOMMU, page tables, cores and devices — exchange traffic over
+// a switched fabric instead of the abstract remote peer. -traffic picks
+// the pattern (incast: everyone sends to host 0; alltoall; pairs),
+// -flowsperpair scales the flow count, -fabricgbps and -oversub shape
+// the fabric. Output is the aggregate line plus one indented line per
+// host; -audit prints each host's safety tally.
 //
 // -faults enables deterministic fault injection and the translation
 // auditor: a bare number is a canonical-campaign intensity, otherwise a
@@ -39,9 +49,10 @@ import (
 	"os"
 	"runtime"
 
-	"fastsafe/internal/core"
+	"fastsafe/internal/fabric"
 	"fastsafe/internal/fault"
 	"fastsafe/internal/host"
+	"fastsafe/internal/modespec"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
 	"fastsafe/internal/stats"
@@ -71,11 +82,16 @@ func main() {
 	faults := flag.String("faults", "", "fault plan: campaign intensity or key=value spec (implies -audit)")
 	faultseed := flag.Int64("faultseed", 0, "fault-injector seed (0: inherit -seed)")
 	audit := flag.Bool("audit", false, "cross-check every DMA translation against the live page table")
+	hosts := flag.Int("hosts", 0, "cluster size: simulate N full hosts on a switched fabric (0: single host)")
+	traffic := flag.String("traffic", "incast", "cluster traffic pattern: incast|alltoall|pairs")
+	fabricgbps := flag.Float64("fabricgbps", 0, "fabric port line rate, Gbps (0: NIC line rate)")
+	oversub := flag.Float64("oversub", 0, "fabric core oversubscription factor (0: non-blocking)")
+	flowsperpair := flag.Int("flowsperpair", 1, "cluster flows per (src,dst) host pair")
 	flag.Parse()
 
-	m, err := core.ParseMode(*mode)
+	m, err := modespec.Host(*mode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "fssim:", err)
 		os.Exit(2)
 	}
 	if *seeds < 1 {
@@ -90,14 +106,10 @@ func main() {
 		}
 	}
 
-	var devMode *core.Mode
-	if *devmode != "" {
-		dm, err := core.ParseMode(*devmode)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		devMode = &dm
+	devMode, err := modespec.Device(*devmode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fssim:", err)
+		os.Exit(2)
 	}
 	nStorage := *storagedevs
 	if nStorage == 0 && *storage > 0 {
@@ -125,8 +137,8 @@ func main() {
 		sampleEvery = sim.Duration(*sampleus) * sim.Microsecond
 	}
 
-	runSeed := func(s int64) (host.Results, error) {
-		h, err := host.New(host.Config{
+	hostCfg := func(s int64) host.Config {
+		return host.Config{
 			Mode:            m,
 			Cores:           *cores,
 			RxFlows:         *flows,
@@ -145,7 +157,18 @@ func main() {
 				TraceL3:     *trace,
 				TraceLimit:  200000,
 			},
-		})
+		}
+	}
+
+	if *hosts > 0 {
+		runCluster(*hosts, *traffic, *flowsperpair, *fabricgbps, *oversub,
+			hostCfg, *seed, *seeds, *parallel,
+			sim.Duration(*warmup)*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
+		return
+	}
+
+	runSeed := func(s int64) (host.Results, error) {
+		h, err := host.New(hostCfg(s))
 		if err != nil {
 			return host.Results{}, err
 		}
@@ -185,6 +208,52 @@ func main() {
 		}
 		if len(r.Timeline) > 0 {
 			printTimeline(r.Timeline)
+		}
+	}
+}
+
+// runCluster simulates N full hosts on a switched fabric and prints the
+// aggregate plus per-host results (and per-host safety when auditing).
+func runCluster(hosts int, traffic string, flowsPerPair int, fabricGbps, oversub float64,
+	hostCfg func(int64) host.Config, seed int64, seeds, parallel int,
+	warmup, measure sim.Duration) {
+	tp, err := host.ParseTraffic(traffic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fssim:", err)
+		os.Exit(2)
+	}
+	runSeed := func(s int64) (host.ClusterResults, error) {
+		c, err := host.NewCluster(host.ClusterConfig{
+			Hosts:        hosts,
+			Traffic:      tp,
+			FlowsPerPair: flowsPerPair,
+			Host:         hostCfg(s),
+			Fabric:       fabric.Config{PortGbps: fabricGbps, Oversub: oversub},
+		})
+		if err != nil {
+			return host.ClusterResults{}, err
+		}
+		return c.Run(warmup, measure), nil
+	}
+	jobs := make([]runner.Job[host.ClusterResults], seeds)
+	for i := 0; i < seeds; i++ {
+		s := seed + int64(i)
+		jobs[i] = func(context.Context) (host.ClusterResults, error) { return runSeed(s) }
+	}
+	results, err := runner.Collect(context.Background(), runner.Config{Workers: parallel}, jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, r := range results {
+		if seeds > 1 {
+			fmt.Printf("seed %d:\n", seed+int64(i))
+		}
+		fmt.Println(r)
+		for j, hr := range r.Hosts {
+			if hr.Safety != nil {
+				fmt.Printf("host%d safety: %s\n", j, hr.Safety)
+			}
 		}
 	}
 }

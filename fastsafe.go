@@ -9,8 +9,10 @@ import (
 	"fmt"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/fabric"
 	"fastsafe/internal/fault"
 	"fastsafe/internal/host"
+	"fastsafe/internal/modespec"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
 	"fastsafe/internal/stats"
@@ -115,6 +117,11 @@ type DeviceOptions struct {
 
 // validate rejects nonsense before it panics deep inside host.New.
 func (o Options) validate() error {
+	if o.Mode != "" {
+		if _, err := modespec.Host(string(o.Mode)); err != nil {
+			return fmt.Errorf("fastsafe: %w", err)
+		}
+	}
 	switch {
 	case o.Flows < 0:
 		return fmt.Errorf("fastsafe: Flows must be >= 0, got %d", o.Flows)
@@ -159,10 +166,8 @@ func (o Options) validate() error {
 		default:
 			return fmt.Errorf("fastsafe: Devices[%d].Kind must be \"storage\" or \"nic\", got %q", i, d.Kind)
 		}
-		if d.Mode != "" {
-			if _, err := core.ParseMode(string(d.Mode)); err != nil {
-				return fmt.Errorf("fastsafe: Devices[%d]: %w", i, err)
-			}
+		if _, err := modespec.Device(string(d.Mode)); err != nil {
+			return fmt.Errorf("fastsafe: Devices[%d]: %w", i, err)
 		}
 	}
 	return nil
@@ -263,27 +268,18 @@ func latencyReport(h *stats.Histogram) LatencyReport {
 	return LatencyReport{Count: h.Count(), P50us: us(0.50), P99us: us(0.99), P99_99us: us(0.9999)}
 }
 
-// Simulate runs one experiment and returns its report.
-func Simulate(o Options) (Report, error) {
-	if o.Mode == "" {
-		o.Mode = Strict
-	}
-	if err := o.validate(); err != nil {
-		return Report{}, err
-	}
-	m, err := core.ParseMode(string(o.Mode))
+// hostConfig converts validated Options into the host.Config both
+// Simulate and SimulateCluster build on.
+func hostConfig(o Options) (host.Config, error) {
+	m, err := modespec.Host(string(o.Mode))
 	if err != nil {
-		return Report{}, fmt.Errorf("fastsafe: %w", err)
+		return host.Config{}, fmt.Errorf("fastsafe: %w", err)
 	}
 	var topo host.Topology
 	for _, d := range o.Devices {
-		var devMode *core.Mode
-		if d.Mode != "" {
-			dm, err := core.ParseMode(string(d.Mode))
-			if err != nil {
-				return Report{}, fmt.Errorf("fastsafe: %w", err)
-			}
-			devMode = &dm
+		devMode, err := modespec.Device(string(d.Mode))
+		if err != nil {
+			return host.Config{}, fmt.Errorf("fastsafe: %w", err)
 		}
 		switch d.Kind {
 		case "", "storage":
@@ -303,10 +299,10 @@ func Simulate(o Options) (Report, error) {
 	if o.Faults != "" {
 		plan, err = fault.Parse(o.Faults)
 		if err != nil {
-			return Report{}, fmt.Errorf("fastsafe: %w", err)
+			return host.Config{}, fmt.Errorf("fastsafe: %w", err)
 		}
 	}
-	h, err := host.New(host.Config{
+	return host.Config{
 		Mode:        m,
 		RxFlows:     o.Flows,
 		TxFlows:     o.TxFlows,
@@ -323,18 +319,43 @@ func Simulate(o Options) (Report, error) {
 		Telemetry: host.TelemetryConfig{
 			SampleEvery: sim.Duration(o.SampleUS) * sim.Microsecond,
 		},
-	})
+	}, nil
+}
+
+// windows returns the warmup and measurement durations for Options.
+func (o Options) windows() (warm, meas sim.Duration) {
+	w, m := o.WarmupMS, o.MeasureMS
+	if w <= 0 {
+		w = 10
+	}
+	if m <= 0 {
+		m = 30
+	}
+	return sim.Duration(w) * sim.Millisecond, sim.Duration(m) * sim.Millisecond
+}
+
+// Simulate runs one experiment and returns its report.
+func Simulate(o Options) (Report, error) {
+	if o.Mode == "" {
+		o.Mode = Strict
+	}
+	if err := o.validate(); err != nil {
+		return Report{}, err
+	}
+	cfg, err := hostConfig(o)
+	if err != nil {
+		return Report{}, err
+	}
+	h, err := host.New(cfg)
 	if err != nil {
 		return Report{}, fmt.Errorf("fastsafe: %w", err)
 	}
-	warm, meas := o.WarmupMS, o.MeasureMS
-	if warm <= 0 {
-		warm = 10
-	}
-	if meas <= 0 {
-		meas = 30
-	}
-	r := h.Run(sim.Duration(warm)*sim.Millisecond, sim.Duration(meas)*sim.Millisecond)
+	warm, meas := o.windows()
+	return reportFrom(h.Run(warm, meas)), nil
+}
+
+// reportFrom converts host-level Results into the facade's Report.
+func reportFrom(r host.Results) Report {
 	rep := Report{
 		Mode:               Mode(r.Mode.String()),
 		RxGbps:             r.RxGbps,
@@ -380,6 +401,103 @@ func Simulate(o Options) (Report, error) {
 			WalkReads:     d.WalkReads,
 			Invalidations: d.Invalidations,
 		})
+	}
+	return rep
+}
+
+// ClusterOptions configures an N-host simulation on a switched fabric.
+type ClusterOptions struct {
+	// Hosts is the cluster size (>= 2).
+	Hosts int
+	// Traffic is the flow pattern: "incast" (all hosts send to host 0,
+	// the default), "alltoall" (every ordered pair), or "pairs" (host 2k
+	// sends to host 2k+1).
+	Traffic string
+	// FlowsPerPair is the DCTCP flows per (src, dst) pair (default 1).
+	FlowsPerPair int
+	// FabricGbps is the per-port fabric line rate; 0 inherits the host
+	// NIC line rate (100Gbps).
+	FabricGbps float64
+	// Oversub is the fabric core oversubscription factor: the shared
+	// core runs at hosts*FabricGbps/Oversub. 0 keeps it non-blocking.
+	Oversub float64
+
+	// Host configures every host identically. Flows and TxFlows are
+	// ignored — cluster hosts run the pattern's peer flows instead of
+	// flows to an abstract remote.
+	Host Options
+}
+
+func (o ClusterOptions) validate() error {
+	switch {
+	case o.Hosts < 2:
+		return fmt.Errorf("fastsafe: Hosts must be >= 2, got %d", o.Hosts)
+	case o.FlowsPerPair < 0:
+		return fmt.Errorf("fastsafe: FlowsPerPair must be >= 0, got %d", o.FlowsPerPair)
+	case o.FabricGbps < 0:
+		return fmt.Errorf("fastsafe: FabricGbps must be >= 0, got %g", o.FabricGbps)
+	case o.Oversub < 0:
+		return fmt.Errorf("fastsafe: Oversub must be >= 0, got %g", o.Oversub)
+	}
+	if o.Traffic != "" {
+		if _, err := host.ParseTraffic(o.Traffic); err != nil {
+			return fmt.Errorf("fastsafe: %w", err)
+		}
+	}
+	return o.Host.validate()
+}
+
+// ClusterReport is the outcome of an N-host simulation: one Report per
+// host (index = host ID) plus cluster-wide aggregates.
+type ClusterReport struct {
+	Mode  Mode
+	Hosts []Report
+
+	AggRxGbps float64 // summed per-host receive goodput
+	AggTxGbps float64 // summed per-host transmit goodput
+	// StaleServedDMAs sums every host's audited safety violations; the
+	// paper's claim is zero for strict and F&S at any cluster size.
+	StaleServedDMAs int64
+}
+
+// SimulateCluster runs an N-host experiment on a switched fabric: every
+// host is the same detailed machine Simulate measures (own IOMMU, PCIe,
+// cores), connected through per-port switch queues, paying protection
+// costs at both ends of every flow.
+func SimulateCluster(o ClusterOptions) (ClusterReport, error) {
+	if o.Host.Mode == "" {
+		o.Host.Mode = Strict
+	}
+	if err := o.validate(); err != nil {
+		return ClusterReport{}, err
+	}
+	cfg, err := hostConfig(o.Host)
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	c, err := host.NewCluster(host.ClusterConfig{
+		Hosts:        o.Hosts,
+		Traffic:      host.TrafficPattern(o.Traffic),
+		FlowsPerPair: o.FlowsPerPair,
+		Host:         cfg,
+		Fabric: fabric.Config{
+			PortGbps: o.FabricGbps,
+			Oversub:  o.Oversub,
+		},
+	})
+	if err != nil {
+		return ClusterReport{}, fmt.Errorf("fastsafe: %w", err)
+	}
+	warm, meas := o.Host.windows()
+	r := c.Run(warm, meas)
+	rep := ClusterReport{
+		Mode:            o.Host.Mode,
+		AggRxGbps:       r.AggRxGbps,
+		AggTxGbps:       r.AggTxGbps,
+		StaleServedDMAs: r.Violations(),
+	}
+	for _, hr := range r.Hosts {
+		rep.Hosts = append(rep.Hosts, reportFrom(hr))
 	}
 	return rep, nil
 }

@@ -248,3 +248,58 @@ func TestOptionsValidationTelemetry(t *testing.T) {
 		t.Fatal("negative MemHogStartMS accepted")
 	}
 }
+
+func TestSimulateClusterDegenerate(t *testing.T) {
+	r, err := SimulateCluster(ClusterOptions{
+		Hosts: 2,
+		Host:  Options{Mode: FNS, WarmupMS: 1, MeasureMS: 3, Audit: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != FNS || len(r.Hosts) != 2 {
+		t.Fatalf("Mode=%q hosts=%d", r.Mode, len(r.Hosts))
+	}
+	if r.Hosts[0].RxGbps <= 1 || r.Hosts[1].TxGbps <= 1 {
+		t.Fatalf("degenerate incast idle: rx=%v tx=%v", r.Hosts[0].RxGbps, r.Hosts[1].TxGbps)
+	}
+	if r.AggRxGbps != r.AggTxGbps {
+		t.Fatalf("agg rx %v != agg tx %v", r.AggRxGbps, r.AggTxGbps)
+	}
+	if r.StaleServedDMAs != 0 {
+		t.Fatalf("stale-served DMAs: %d", r.StaleServedDMAs)
+	}
+}
+
+func TestSimulateClusterDefaultsToStrict(t *testing.T) {
+	r, err := SimulateCluster(ClusterOptions{
+		Hosts: 2,
+		Host:  Options{WarmupMS: 1, MeasureMS: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != Strict {
+		t.Fatalf("default cluster mode = %q, want strict", r.Mode)
+	}
+}
+
+func TestClusterOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		o    ClusterOptions
+		want string
+	}{
+		{"one host", ClusterOptions{Hosts: 1}, "Hosts"},
+		{"bad traffic", ClusterOptions{Hosts: 4, Traffic: "mesh"}, "traffic pattern"},
+		{"negative fabric", ClusterOptions{Hosts: 2, FabricGbps: -1}, "FabricGbps"},
+		{"negative oversub", ClusterOptions{Hosts: 2, Oversub: -2}, "Oversub"},
+		{"negative fpp", ClusterOptions{Hosts: 2, FlowsPerPair: -1}, "FlowsPerPair"},
+		{"bad host mode", ClusterOptions{Hosts: 2, Host: Options{Mode: "bogus"}}, "bogus"},
+	}
+	for _, c := range cases {
+		if _, err := SimulateCluster(c.o); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}

@@ -898,6 +898,66 @@ func Faults(o Options) Table {
 	return t
 }
 
+// Cluster scales the incast out to N full hosts on the switched fabric
+// (extension): every sender pays its own Tx protection costs and the
+// receiver its Rx costs, so aggregate goodput tracks how fast each
+// side's IOMMU path lets it move pages. F&S saturates the receiver's
+// downlink and stays there as senders are added; strict mode's
+// multi-read walks first starve the senders (low host counts) and then
+// the receiver (large ones), so its aggregate degrades past its peak.
+// Every host runs the translation auditor; the stale_per_host column is
+// the per-host count of stale-served DMAs (all zeros for safe modes).
+func Cluster(o Options) Table {
+	t := Table{ID: "cluster", Title: "Cluster incast: N full hosts on a switched fabric (extension)",
+		Header: []string{"mode", "hosts", "agg_gbps", "recv_drop", "recv_reads/pg", "stale_per_host"}}
+	type cfg struct {
+		mode  core.Mode
+		hosts int
+	}
+	var cfgs []cfg
+	for _, mode := range []core.Mode{core.Strict, core.FNS} {
+		for _, n := range []int{2, 4, 8, 12} {
+			cfgs = append(cfgs, cfg{mode, n})
+		}
+	}
+	jobs := make([]runner.Job[host.ClusterResults], len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		jobs[i] = func(context.Context) (host.ClusterResults, error) {
+			cl, err := host.NewCluster(host.ClusterConfig{
+				Hosts:   c.hosts,
+				Traffic: host.Incast,
+				Host:    host.Config{Mode: c.mode, Audit: true},
+			})
+			if err != nil {
+				return host.ClusterResults{}, err
+			}
+			return cl.Run(o.Warmup, o.Measure), nil
+		}
+	}
+	cells, err := runner.Collect(context.Background(), runner.Config{Workers: o.Parallel}, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: cluster: %v", err))
+	}
+	for i, r := range cells {
+		recv := r.Hosts[0]
+		stale := make([]string, len(r.Hosts))
+		for j, h := range r.Hosts {
+			var v int64
+			if h.Safety != nil {
+				v = h.Safety.Violations()
+			}
+			stale[j] = fmt.Sprintf("%d", v)
+		}
+		t.Rows = append(t.Rows, []string{
+			cfgs[i].mode.String(), fmt.Sprintf("%d", cfgs[i].hosts),
+			f1(r.AggRxGbps), pct(recv.DropRate), f2(recv.ReadsPerPage),
+			strings.Join(stale, "/"),
+		})
+	}
+	return t
+}
+
 // All runs every figure and extension table. Each figure fans its own
 // cells across the worker pool; cmd/fsbench additionally runs whole
 // figures concurrently.
@@ -909,7 +969,7 @@ func All(o Options) []Table {
 		Fig11a(o), Fig11b(o), Fig11c(o),
 		Fig12(o), Model(o), Deferred(o), DescriptorSizes(o), CacheSizes(o),
 		Hugepages(o), MemoryLatency(o), Seeds(o), Storage(o), MemoryHog(o),
-		Timeline(o), CPUCost(o), Faults(o),
+		Timeline(o), CPUCost(o), Faults(o), Cluster(o),
 	}
 }
 
@@ -924,7 +984,7 @@ func ByID(id string, o Options) (Table, error) {
 		"descsize": DescriptorSizes, "ptcache": CacheSizes, "huge": Hugepages,
 		"memlat": MemoryLatency, "seeds": Seeds, "storage": Storage,
 		"multidev": Multidev, "memhog": MemoryHog, "timeline": Timeline,
-		"cpucost": CPUCost, "faults": Faults,
+		"cpucost": CPUCost, "faults": Faults, "cluster": Cluster,
 	}
 	f, ok := fns[id]
 	if !ok {
@@ -940,5 +1000,6 @@ func IDs() []string {
 		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
 		"model", "modes", "descsize", "ptcache", "huge", "memlat", "seeds",
 		"storage", "multidev", "memhog", "timeline", "cpucost", "faults",
+		"cluster",
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -114,6 +115,50 @@ func TestExtensionTablesShape(t *testing.T) {
 	}
 	if tab := Seeds(o); len(tab.Rows) != 8 {
 		t.Fatalf("seeds rows = %d", len(tab.Rows))
+	}
+}
+
+// TestClusterTrends locks the cluster figure's headline claims: F&S's
+// aggregate goodput never drops as hosts are added, strict mode's
+// degrades past its peak, F&S beats strict at every size, and no host
+// ever serves a stale DMA.
+func TestClusterTrends(t *testing.T) {
+	tab := Cluster(tiny())
+	agg := map[string][]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("agg_gbps %q: %v", row[2], err)
+		}
+		agg[row[0]] = append(agg[row[0]], v)
+		for _, s := range strings.Split(row[5], "/") {
+			if s != "0" {
+				t.Errorf("%s hosts=%s: stale-served DMAs %q", row[0], row[1], row[5])
+			}
+		}
+	}
+	fns, strict := agg["fns"], agg["strict"]
+	if len(fns) != 4 || len(strict) != 4 {
+		t.Fatalf("rows per mode: fns=%d strict=%d, want 4", len(fns), len(strict))
+	}
+	for i := 1; i < len(fns); i++ {
+		if fns[i] < fns[i-1] {
+			t.Errorf("fns aggregate degrades with hosts: %v", fns)
+		}
+	}
+	peak := strict[0]
+	for _, v := range strict {
+		if v > peak {
+			peak = v
+		}
+	}
+	if last := strict[len(strict)-1]; last >= peak {
+		t.Errorf("strict aggregate should degrade past its peak: %v", strict)
+	}
+	for i := range fns {
+		if fns[i] <= strict[i] {
+			t.Errorf("fns %v not above strict %v at index %d", fns[i], strict[i], i)
+		}
 	}
 }
 

@@ -23,9 +23,10 @@ func goldenOpts() Options {
 }
 
 // goldenFigs cover the construction paths worth locking: the flow sweep
-// (fig2, fig7), the all-modes table (every protection datapath), and the
-// storage co-tenant figure (shared-IOMMU multi-device path).
-var goldenFigs = []string{"fig2", "fig7", "modes", "storage"}
+// (fig2, fig7), the all-modes table (every protection datapath), the
+// storage co-tenant figure (shared-IOMMU multi-device path), and the
+// cluster figure (N hosts on the shared engine and fabric).
+var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster"}
 
 // TestGoldenFiguresByteIdentical regenerates each golden figure and
 // requires byte-for-byte identity with the committed file. Regenerate

@@ -1,0 +1,244 @@
+// Package fabric models the cluster network: point-to-point links and a
+// switched fabric connecting N hosts through per-port queues.
+//
+// Link is the building block — a single-server serialisation queue (a
+// NIC egress or a switch port) followed by a fixed propagation delay,
+// with EWMA-averaged ECN marking the way the paper's DCTCP-enabled
+// switches mark. A Link on its own is the degenerate two-node fabric:
+// the single-host experiments' "wire" to the abstract remote host is
+// exactly one Link per direction.
+//
+// Switch composes Links into a switched network: every host owns a Port
+// with an uplink Link into the switch and a downlink Link out of it, and
+// an optional shared core Link models oversubscription. Congestion under
+// incast lands where it does on real hardware — the receiver's output
+// (downlink) port FIFO — and that queue is where ECN marks.
+//
+// Everything here is engine-confined and deterministic: no goroutines,
+// no wall-clock time, no shared mutable state between fabrics.
+package fabric
+
+import (
+	"fmt"
+
+	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
+)
+
+// Link models one direction of a network path: a single-server
+// serialisation queue (the sender NIC egress / switch port) followed by
+// a fixed propagation delay. The egress queue marks ECN above a
+// threshold, as the DCTCP-enabled switch in the paper's testbed does —
+// when the receiver's PCIe is not the bottleneck, this is where the
+// standing queue lives.
+type Link struct {
+	eng       *sim.Engine
+	gbps      float64
+	prop      sim.Duration
+	ecnK      int // marking threshold in averaged queued bytes (0 = never mark)
+	busyUntil sim.Time
+	bytes     int64
+	packets   int64
+	marked    int64
+
+	// Marking uses an exponentially-weighted moving average of the
+	// backlog (time constant ecnTau) so transient ACK-clocked bursts pass
+	// unmarked while standing queues mark — switches average similarly,
+	// and without this the simulation marks on every burst and DCTCP
+	// shadows bottlenecks it cannot actually see.
+	avgBacklog float64
+	lastSample sim.Time
+}
+
+// ecnTau is the backlog-averaging time constant.
+const ecnTau = 20 * sim.Microsecond
+
+// NewLink returns a link with the given line rate and one-way
+// propagation delay.
+func NewLink(eng *sim.Engine, gbps float64, prop sim.Duration) *Link {
+	return &Link{eng: eng, gbps: gbps, prop: prop}
+}
+
+// SetECN enables ECN marking when the egress backlog exceeds k bytes.
+func (w *Link) SetECN(k int) { w.ecnK = k }
+
+// Backlog returns the bytes currently queued for serialisation.
+func (w *Link) Backlog() int {
+	now := w.eng.Now()
+	if w.busyUntil <= now {
+		return 0
+	}
+	return int(float64(w.busyUntil-now) * w.gbps / 8)
+}
+
+// Send serialises a packet onto the link; deliver fires at the far end
+// with the packet's ECN mark.
+func (w *Link) Send(bytes int, deliver func(ecn bool)) {
+	now := w.eng.Now()
+	if dt := now - w.lastSample; dt > 0 {
+		// Discrete-time EWMA: decay toward the instantaneous backlog.
+		alpha := float64(dt) / float64(dt+ecnTau)
+		w.avgBacklog += (float64(w.Backlog()) - w.avgBacklog) * alpha
+		w.lastSample = now
+	}
+	ecn := w.ecnK > 0 && w.avgBacklog > float64(w.ecnK)
+	if ecn {
+		w.marked++
+	}
+	start := w.eng.Now()
+	if w.busyUntil > start {
+		start = w.busyUntil
+	}
+	ser := sim.Duration(float64(bytes) * 8 / w.gbps)
+	w.busyUntil = start + ser
+	w.bytes += int64(bytes)
+	w.packets++
+	w.eng.At(w.busyUntil+w.prop, func() { deliver(ecn) })
+}
+
+// Bytes returns the total bytes sent.
+func (w *Link) Bytes() int64 { return w.bytes }
+
+// Packets returns the total packets sent.
+func (w *Link) Packets() int64 { return w.packets }
+
+// Marked returns the number of ECN-marked packets.
+func (w *Link) Marked() int64 { return w.marked }
+
+// RegisterProbes exposes the link's counters and queue state through the
+// registry under prefix. Read-only over live state.
+func (w *Link) RegisterProbes(r *stats.Registry, prefix string) {
+	r.GaugeFunc(prefix+"bytes", func() float64 { return float64(w.bytes) })
+	r.GaugeFunc(prefix+"packets", func() float64 { return float64(w.packets) })
+	r.GaugeFunc(prefix+"marked", func() float64 { return float64(w.marked) })
+	r.GaugeFunc(prefix+"backlog", func() float64 { return float64(w.Backlog()) })
+}
+
+// Config describes a switched fabric. Zero fields take the defaults of
+// the paper's testbed scaled to a cluster: 100Gbps ports, 2us end-to-end
+// propagation, the 150KB DCTCP marking threshold, and a non-blocking
+// core.
+type Config struct {
+	PortGbps float64      // per-port line rate (default 100)
+	Prop     sim.Duration // end-to-end propagation, split across hops (default 2us)
+	ECNK     int          // output-port ECN marking threshold, bytes (default 150KB)
+	// Oversub is the core oversubscription factor: the shared core link
+	// runs at ports*PortGbps/Oversub. 0 (or 1 with no explicit request)
+	// leaves the core non-blocking — packets pass straight from uplink
+	// to downlink with no shared hop, a crossbar.
+	Oversub float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PortGbps == 0 {
+		c.PortGbps = 100
+	}
+	if c.Prop == 0 {
+		c.Prop = 2 * sim.Microsecond
+	}
+	if c.ECNK == 0 {
+		c.ECNK = 150 << 10
+	}
+	return c
+}
+
+// Switch is an N-port switched fabric. Ports are created up front so the
+// core link (when oversubscribed) can be sized to the port count.
+type Switch struct {
+	eng   *sim.Engine
+	cfg   Config
+	ports []*Port
+	core  *Link // shared core hop, nil when non-blocking
+}
+
+// Port is one host's attachment point: an uplink into the switch and a
+// downlink out of it. The downlink is the congestion point under incast,
+// so it carries the ECN marker; the uplink cannot queue beyond its own
+// host's egress and stays unmarked.
+type Port struct {
+	sw   *Switch
+	id   int
+	up   *Link // host -> switch
+	down *Link // switch -> host
+}
+
+// NewSwitch builds a fabric with n ports.
+func NewSwitch(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("fabric: a switch needs at least 2 ports, got %d", n)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Oversub < 0 {
+		return nil, fmt.Errorf("fabric: Oversub must be >= 0, got %g", cfg.Oversub)
+	}
+	s := &Switch{eng: eng, cfg: cfg}
+	// The end-to-end propagation budget is split across the hops a packet
+	// takes, so a 2-port fabric matches a direct 2us link.
+	hops := sim.Duration(2)
+	if cfg.Oversub > 0 {
+		hops = 3
+	}
+	prop := cfg.Prop / hops
+	for i := 0; i < n; i++ {
+		p := &Port{
+			sw:   s,
+			id:   i,
+			up:   NewLink(eng, cfg.PortGbps, prop),
+			down: NewLink(eng, cfg.PortGbps, cfg.Prop-prop*(hops-1)),
+		}
+		p.down.SetECN(cfg.ECNK)
+		s.ports = append(s.ports, p)
+	}
+	if cfg.Oversub > 0 {
+		core := NewLink(eng, float64(n)*cfg.PortGbps/cfg.Oversub, prop)
+		core.SetECN(cfg.ECNK)
+		s.core = core
+	}
+	return s, nil
+}
+
+// Ports returns the number of ports.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// ID returns the port's index.
+func (p *Port) ID() int { return p.id }
+
+// Send carries a packet from this port's host to dst's host: serialise
+// on the uplink, cross the (possibly oversubscribed) core, queue at the
+// destination's downlink port FIFO, then deliver with the OR of every
+// hop's ECN mark — switches propagate CE marks, they never clear them.
+func (p *Port) Send(dst int, bytes int, deliver func(ecn bool)) {
+	if dst < 0 || dst >= len(p.sw.ports) || dst == p.id {
+		panic(fmt.Sprintf("fabric: port %d sending to invalid port %d", p.id, dst))
+	}
+	out := p.sw.ports[dst]
+	p.up.Send(bytes, func(ecnUp bool) {
+		if core := p.sw.core; core != nil {
+			core.Send(bytes, func(ecnCore bool) {
+				out.down.Send(bytes, func(ecnDown bool) {
+					deliver(ecnUp || ecnCore || ecnDown)
+				})
+			})
+			return
+		}
+		out.down.Send(bytes, func(ecnDown bool) {
+			deliver(ecnUp || ecnDown)
+		})
+	})
+}
+
+// RegisterProbes exposes every port's uplink/downlink counters (and the
+// core link's, when oversubscribed) under prefix, e.g.
+// "fabric.port0.up.bytes".
+func (s *Switch) RegisterProbes(r *stats.Registry, prefix string) {
+	for _, p := range s.ports {
+		p.up.RegisterProbes(r, fmt.Sprintf("%sport%d.up.", prefix, p.id))
+		p.down.RegisterProbes(r, fmt.Sprintf("%sport%d.down.", prefix, p.id))
+	}
+	if s.core != nil {
+		s.core.RegisterProbes(r, prefix+"core.")
+	}
+}

@@ -1,0 +1,183 @@
+package fabric
+
+import (
+	"testing"
+
+	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
+)
+
+// A link serialises back-to-back packets at its line rate: the second
+// delivery waits for the first's serialisation slot.
+func TestLinkSerialises(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 100, 2*sim.Microsecond) // 100Gbps, 2us prop
+	var at []sim.Time
+	for i := 0; i < 3; i++ {
+		l.Send(4096, func(bool) { at = append(at, eng.Now()) })
+	}
+	eng.Run(sim.Time(1) * sim.Millisecond)
+	if len(at) != 3 {
+		t.Fatalf("expected 3 deliveries, got %d", len(at))
+	}
+	ser := sim.Duration(4096 * 8 / 100) // ns per packet at 100Gbps
+	for i, want := range []sim.Time{
+		sim.Time(ser) + 2000,
+		sim.Time(2*ser) + 2000,
+		sim.Time(3*ser) + 2000,
+	} {
+		if at[i] != want {
+			t.Fatalf("delivery %d at %d, want %d", i, at[i], want)
+		}
+	}
+	if l.Packets() != 3 || l.Bytes() != 3*4096 {
+		t.Fatalf("counters: packets=%d bytes=%d", l.Packets(), l.Bytes())
+	}
+}
+
+// A standing queue above the averaged threshold marks ECN; an idle link
+// never marks.
+func TestLinkECNMarksStandingQueue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 1, 0) // 1Gbps: 4KB takes ~32.8us to serialise
+	l.SetECN(8 << 10)
+	marked := false
+	for i := 0; i < 64; i++ {
+		i := i
+		eng.At(sim.Time(i)*sim.Microsecond, func() {
+			l.Send(4096, func(ecn bool) { marked = marked || ecn })
+		})
+	}
+	eng.Run(sim.Time(10) * sim.Millisecond)
+	if !marked {
+		t.Fatal("standing queue above threshold never marked ECN")
+	}
+
+	idle := NewLink(eng, 100, 0)
+	idle.SetECN(8 << 10)
+	idle.Send(4096, func(ecn bool) {
+		if ecn {
+			t.Fatal("idle link marked ECN")
+		}
+	})
+	eng.Run(eng.Now() + sim.Time(1)*sim.Millisecond)
+	if idle.Marked() != 0 {
+		t.Fatalf("idle link marked %d packets", idle.Marked())
+	}
+}
+
+func TestSwitchValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if _, err := NewSwitch(eng, 1, Config{}); err == nil {
+		t.Fatal("1-port switch accepted")
+	}
+	if _, err := NewSwitch(eng, 4, Config{Oversub: -1}); err == nil {
+		t.Fatal("negative oversubscription accepted")
+	}
+	sw, err := NewSwitch(eng, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Ports() != 4 {
+		t.Fatalf("Ports() = %d, want 4", sw.Ports())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	sw.Port(0).Send(0, 4096, func(bool) {})
+}
+
+// The end-to-end propagation budget is preserved across the switch: a
+// packet on an unloaded 2-hop fabric arrives exactly one serialisation
+// per hop plus the configured propagation later.
+func TestSwitchPropagationBudget(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw, err := NewSwitch(eng, 2, Config{PortGbps: 100, Prop: 2 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sim.Time
+	sw.Port(0).Send(1, 4096, func(bool) { got = eng.Now() })
+	eng.Run(sim.Time(1) * sim.Millisecond)
+	ser := sim.Time(4096 * 8 / 100)
+	want := 2*ser + 2000 // two serialisations + the full 2us budget
+	if got != want {
+		t.Fatalf("delivery at %d, want %d", got, want)
+	}
+}
+
+// Incast congestion lands at the destination's downlink: many sources
+// sending to one port mark ECN there while the sources' uplinks stay
+// clean.
+func TestSwitchIncastMarksAtDownlink(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw, err := NewSwitch(eng, 8, Config{PortGbps: 100, Prop: 2 * sim.Microsecond, ECNK: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := 0
+	for src := 1; src < 8; src++ {
+		src := src
+		for i := 0; i < 64; i++ {
+			i := i
+			eng.At(sim.Time(i)*sim.Microsecond/3, func() {
+				sw.Port(src).Send(0, 4096, func(ecn bool) {
+					if ecn {
+						marks++
+					}
+				})
+			})
+		}
+	}
+	eng.Run(sim.Time(10) * sim.Millisecond)
+	if marks == 0 {
+		t.Fatal("incast produced no ECN marks at the destination downlink")
+	}
+	for src := 1; src < 8; src++ {
+		if m := sw.Port(src).up.Marked(); m != 0 {
+			t.Fatalf("uplink %d marked %d packets; incast congestion must mark at the downlink", src, m)
+		}
+	}
+	if sw.Port(0).down.Marked() == 0 {
+		t.Fatal("destination downlink recorded no marks")
+	}
+}
+
+// An oversubscribed core throttles cross-fabric aggregate bandwidth and
+// shows up in the probe registry.
+func TestSwitchOversubscribedCore(t *testing.T) {
+	run := func(oversub float64) (last sim.Time) {
+		eng := sim.NewEngine(1)
+		sw, err := NewSwitch(eng, 4, Config{PortGbps: 100, Oversub: oversub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < 4; src++ {
+			src := src
+			for i := 0; i < 256; i++ {
+				eng.At(0, func() {
+					sw.Port(src).Send((src+1)%4, 4096, func(bool) { last = eng.Now() })
+				})
+			}
+		}
+		eng.Run(sim.Time(100) * sim.Millisecond)
+		return last
+	}
+	nonBlocking := run(0)
+	throttled := run(4) // core at 1/4 aggregate
+	if throttled <= nonBlocking {
+		t.Fatalf("4:1 oversubscription did not slow the fabric: %d <= %d", throttled, nonBlocking)
+	}
+
+	eng := sim.NewEngine(1)
+	sw, _ := NewSwitch(eng, 2, Config{Oversub: 2})
+	reg := stats.NewRegistry()
+	sw.RegisterProbes(reg, "fabric.")
+	for _, name := range []string{"fabric.port0.up.bytes", "fabric.port1.down.backlog", "fabric.core.packets"} {
+		if _, ok := reg.Value(name); !ok {
+			t.Fatalf("probe %s not registered", name)
+		}
+	}
+}

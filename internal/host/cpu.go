@@ -1,6 +1,9 @@
 package host
 
-import "fastsafe/internal/sim"
+import (
+	"fastsafe/internal/fabric"
+	"fastsafe/internal/sim"
+)
 
 // Core models one CPU core as a serialised work queue: driver and network
 // stack work items execute FIFO, each consuming the CPU time its work
@@ -60,78 +63,14 @@ func (c *Core) QueueLen() int { return len(c.queue) }
 // Busy reports whether the core is currently executing work.
 func (c *Core) Busy() bool { return c.running }
 
-// Wire models one direction of the 100Gbps network path between the two
-// hosts: a single-server serialisation queue (the sender NIC egress /
-// switch port) followed by a fixed propagation delay. The egress queue
-// marks ECN above a threshold, as the DCTCP-enabled switch in the paper's
-// testbed does — when the receiver's PCIe is not the bottleneck, this is
-// where the standing queue lives.
-type Wire struct {
-	eng       *sim.Engine
-	gbps      float64
-	prop      sim.Duration
-	ecnK      int // marking threshold in averaged queued bytes (0 = never mark)
-	busyUntil sim.Time
-	bytes     int64
-	packets   int64
-	marked    int64
-
-	// Marking uses an exponentially-weighted moving average of the
-	// backlog (time constant ecnTau) so transient ACK-clocked bursts pass
-	// unmarked while standing queues mark — switches average similarly,
-	// and without this the simulation marks on every burst and DCTCP
-	// shadows bottlenecks it cannot actually see.
-	avgBacklog float64
-	lastSample sim.Time
-}
-
-// ecnTau is the backlog-averaging time constant.
-const ecnTau = 20 * sim.Microsecond
+// Wire is one direction of the network path between two hosts — a
+// fabric.Link used point-to-point. The single-host experiments connect
+// the detailed local host to its abstract remote through one Wire per
+// direction (the degenerate two-node fabric); clusters route the same
+// packets through fabric.Switch ports instead.
+type Wire = fabric.Link
 
 // NewWire returns a wire with the given line rate and one-way propagation.
 func NewWire(eng *sim.Engine, gbps float64, prop sim.Duration) *Wire {
-	return &Wire{eng: eng, gbps: gbps, prop: prop}
+	return fabric.NewLink(eng, gbps, prop)
 }
-
-// SetECN enables ECN marking when the egress backlog exceeds k bytes.
-func (w *Wire) SetECN(k int) { w.ecnK = k }
-
-// Backlog returns the bytes currently queued for serialisation.
-func (w *Wire) Backlog() int {
-	now := w.eng.Now()
-	if w.busyUntil <= now {
-		return 0
-	}
-	return int(float64(w.busyUntil-now) * w.gbps / 8)
-}
-
-// Send serialises a packet onto the wire; deliver fires at the far end
-// with the packet's ECN mark.
-func (w *Wire) Send(bytes int, deliver func(ecn bool)) {
-	now := w.eng.Now()
-	if dt := now - w.lastSample; dt > 0 {
-		// Discrete-time EWMA: decay toward the instantaneous backlog.
-		alpha := float64(dt) / float64(dt+ecnTau)
-		w.avgBacklog += (float64(w.Backlog()) - w.avgBacklog) * alpha
-		w.lastSample = now
-	}
-	ecn := w.ecnK > 0 && w.avgBacklog > float64(w.ecnK)
-	if ecn {
-		w.marked++
-	}
-	start := w.eng.Now()
-	if w.busyUntil > start {
-		start = w.busyUntil
-	}
-	ser := sim.Duration(float64(bytes) * 8 / w.gbps)
-	w.busyUntil = start + ser
-	w.bytes += int64(bytes)
-	w.packets++
-	w.eng.At(w.busyUntil+w.prop, func() { deliver(ecn) })
-}
-
-// Bytes returns the total bytes sent.
-func (w *Wire) Bytes() int64 { return w.bytes }
-
-// Marked returns the number of ECN-marked packets.
-func (w *Wire) Marked() int64 { return w.marked }

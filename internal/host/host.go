@@ -1,13 +1,21 @@
-// Package host wires the full NIC-to-memory datapath of §2.1 into one
-// simulated server pair: a detailed local host (NIC rings, IOMMU +
-// protection domain, PCIe links, per-core CPU queues, DCTCP transport
-// endpoints) and an abstract remote host (infinitely fast CPU, no IOMMU).
-// All of the paper's experiments run through this package.
+// Package host wires the full NIC-to-memory datapath of §2.1 into
+// simulated servers: each Host is a detailed machine — NIC rings, its
+// own IOMMU with protection domains, PCIe links, per-core CPU queues,
+// DCTCP transport endpoints — and hosts compose into clusters over the
+// switched network in internal/fabric. All of the paper's experiments
+// run through this package.
 //
-// The host owns exactly one IOMMU; DMA devices (the NIC datapath in
+// Two topologies are supported. The single-host experiments pair one
+// detailed Host with an abstract remote end (infinitely fast CPU, no
+// IOMMU) over a point-to-point wire — the degenerate two-node fabric. A
+// Cluster (cluster.go) instead builds N full Hosts on one shared event
+// engine, every one paying its own CPU, IOMMU and PCIe costs, and
+// routes their peer flows through fabric.Switch ports.
+//
+// Each host owns its own IOMMU; DMA devices (the NIC datapath in
 // netdev.go, device.Storage, anything else implementing device.Device)
 // attach to it through AttachDevice or the Topology config, each with
-// its own protection domain over the shared translation hardware.
+// its own protection domain over that host's translation hardware.
 package host
 
 import (
@@ -94,6 +102,18 @@ type Config struct {
 	Audit bool
 
 	Seed int64
+
+	// Engine, when non-nil, attaches the host to a shared discrete-event
+	// engine instead of creating a private one — this is how a Cluster
+	// gives N hosts one clock. nil (the default) keeps the host fully
+	// self-contained, byte-identical to the pre-fabric behaviour.
+	Engine *sim.Engine
+	// HostID names this host within a cluster; transport endpoints bind
+	// to it. 0 (the default) for single-host runs.
+	HostID int
+	// PeerSlots provisions Tx cores on the primary NIC for cluster peer
+	// flows (see NICSpec.PeerSlots). 0 for single-host runs.
+	PeerSlots int
 }
 
 // Topology describes the DMA devices attached to the host beyond the
@@ -177,14 +197,17 @@ func (c Config) withDefaults() Config {
 // mtuPages returns pages per MTU stride.
 func (c Config) mtuPages() int { return (c.MTU + ptable.PageSize - 1) / ptable.PageSize }
 
-// Host is the simulated server pair.
+// Host is one simulated server (plus, in single-host runs, its abstract
+// remote end).
 //
 // A Host is single-goroutine: construction and Run must happen on one
 // goroutine, and everything it owns (engine, domains, wires, cores,
 // counters, RNGs) is reachable only through it. Distinct Hosts share no
 // mutable state — New takes no globals and registers nothing anywhere —
 // which is what lets internal/runner execute many simulations
-// concurrently with byte-identical results to a sequential run.
+// concurrently with byte-identical results to a sequential run. Hosts in
+// a Cluster deliberately share the cluster's engine, registry and
+// fabric, and the cluster as a whole stays single-goroutine.
 type Host struct {
 	cfg Config
 	eng *sim.Engine
@@ -212,7 +235,11 @@ type Host struct {
 // Tx flows, app streams and co-tenant devices.
 func New(cfg Config) (*Host, error) {
 	cfg = cfg.withDefaults()
-	h := &Host{cfg: cfg, eng: sim.NewEngine(cfg.Seed)}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.NewEngine(cfg.Seed)
+	}
+	h := &Host{cfg: cfg, eng: eng}
 	h.mmu = iommu.New(cfg.IOMMU)
 	h.walker = pcie.NewWalker(h.eng, cfg.Lm)
 	h.bus = mem.New(h.eng, mem.Config{})
@@ -250,6 +277,7 @@ func New(cfg Config) (*Host, error) {
 			MTU:         cfg.MTU,
 			RingPackets: cfg.RingPackets,
 			LinkGbps:    cfg.LinkGbps,
+			PeerSlots:   cfg.PeerSlots,
 		},
 		mode:    cfg.Mode,
 		primary: true,

@@ -125,9 +125,9 @@ func (h *Host) InstallMessages(cfg MsgConfig) *msgApp {
 	if h.tele != nil {
 		// The workload owns the latency histogram; the registry shares the
 		// same object so telemetry readers see identical quantiles.
-		h.tele.reg.AddHistogram("rpc.latency_ns", &app.latency)
-		h.tele.reg.GaugeFunc("rpc.completed", func() float64 { return float64(app.completed) })
-		h.tele.reg.GaugeFunc("rpc.retries", func() float64 { return float64(app.retries) })
+		h.tele.reg.AddHistogram(h.tele.name("rpc.latency_ns"), &app.latency)
+		h.tele.reg.GaugeFunc(h.tele.name("rpc.completed"), func() float64 { return float64(app.completed) })
+		h.tele.reg.GaugeFunc(h.tele.name("rpc.retries"), func() float64 { return float64(app.retries) })
 	}
 	return app
 }

@@ -29,6 +29,11 @@ type NICSpec struct {
 	MTU         int        // data packet payload
 	RingPackets int        // Rx ring strides per core
 	LinkGbps    float64    // line rate of this NIC's wire pair
+	// PeerSlots provisions extra Tx cores (and per-CPU IOVA magazines) for
+	// cluster peer flows originating at this NIC. 0 — the single-host
+	// default — changes nothing: core counts and cache layouts stay
+	// bit-for-bit identical to the pre-fabric host.
+	PeerSlots int
 }
 
 // resolve fills zero fields from the host config.
@@ -52,6 +57,9 @@ func (s NICSpec) resolve(cfg Config) NICSpec {
 	}
 	if s.LinkGbps <= 0 {
 		s.LinkGbps = cfg.LinkGbps
+	}
+	if s.PeerSlots < 0 {
+		s.PeerSlots = 0
 	}
 	return s
 }
@@ -124,6 +132,12 @@ type netDev struct {
 	rxFlows []*rxFlow
 	txFlows []*txFlow
 
+	// Cluster peer flows (see peer.go): peerTx holds flows whose sender
+	// lives on this host, peerRx flows whose receiver does. Both empty in
+	// single-host runs.
+	peerTx []*peerFlow
+	peerRx []*peerFlow
+
 	lastDeferredFlush sim.Time
 
 	c hostCounters
@@ -168,7 +182,7 @@ func (n *netDev) Attach(dh device.Host) error {
 	cfg := h.cfg
 	n.dom = h.NewDomain(core.Config{
 		Mode:            n.mode,
-		NumCPUs:         n.spec.Cores + n.spec.TxFlows + 8, // slack for app cores
+		NumCPUs:         n.spec.Cores + n.spec.TxFlows + n.spec.PeerSlots + 8, // slack for app cores
 		DescriptorPages: cfg.DescriptorPages,
 		Costs:           cfg.Costs,
 		TxFreeCPUShift:  1,    // Tx-completion IRQ lands on a neighbouring core
@@ -187,7 +201,7 @@ func (n *netDev) Attach(dh device.Host) error {
 	n.toRemote.SetECN(cfg.ECNKBytes)
 
 	dev, err := nic.New(h.eng, nic.Config{
-		Cores:       n.spec.Cores + n.spec.TxFlows + 8,
+		Cores:       n.spec.Cores + n.spec.TxFlows + n.spec.PeerSlots + 8,
 		MTU:         n.spec.MTU,
 		RingPackets: n.spec.RingPackets,
 		BufferBytes: cfg.NICBufferBytes,
@@ -201,21 +215,31 @@ func (n *netDev) Attach(dh device.Host) error {
 	dev.OnDeliver = n.onDeliver
 	dev.OnTxDone = n.onTxDone
 
+	// Legacy bulk flows terminate at the abstract remote host: the local
+	// state machine binds (host, AbstractPeer), its far end the mirror.
+	local := transport.Endpoint{Host: h.cfg.HostID, Peer: transport.AbstractPeer}
+	remote := transport.Endpoint{Host: transport.AbstractPeer, Peer: h.cfg.HostID}
 	for i := 0; i < n.spec.RxFlows; i++ {
-		n.rxFlows = append(n.rxFlows, &rxFlow{
+		f := &rxFlow{
 			id:  i,
 			cpu: i % n.spec.Cores,
 			snd: transport.NewSender(cfg.Transport),
 			rcv: transport.NewReceiver(cfg.Transport),
-		})
+		}
+		f.snd.Bind(remote)
+		f.rcv.Bind(local)
+		n.rxFlows = append(n.rxFlows, f)
 	}
 	for j := 0; j < n.spec.TxFlows; j++ {
-		n.txFlows = append(n.txFlows, &txFlow{
+		f := &txFlow{
 			id:  j,
 			cpu: n.spec.Cores + j,
 			snd: transport.NewSender(cfg.Transport),
 			rcv: transport.NewReceiver(cfg.Transport),
-		})
+		}
+		f.snd.Bind(local)
+		f.rcv.Bind(remote)
+		n.txFlows = append(n.txFlows, f)
 	}
 	return nil
 }
@@ -229,6 +253,10 @@ func (n *netDev) Start() {
 	for j, f := range n.txFlows {
 		f := f
 		n.h.eng.At(sim.Time(j)*sim.Microsecond, func() { n.pumpTxFlow(f) })
+	}
+	for _, f := range n.peerTx {
+		f := f
+		n.h.eng.At(f.start, func() { n.pumpPeerFlow(f) })
 	}
 }
 
@@ -263,6 +291,16 @@ func (n *netDev) flowHousekeeping(now sim.Time) {
 		}
 		if ack := f.rcv.FlushAck(); ack != nil {
 			n.remoteAckToLocal(f, *ack)
+		}
+	}
+	for _, f := range n.peerTx {
+		if f.snd.MaybeTimeout(now) {
+			n.pumpPeerFlow(f)
+		}
+	}
+	for _, f := range n.peerRx {
+		if ack := f.rcv.FlushAck(); ack != nil {
+			n.sendPeerAck(f, *ack)
 		}
 	}
 }
@@ -408,6 +446,12 @@ func (n *netDev) onDeliver(pkt nic.Packet) {
 			n.pumpTxFlow(f)
 		})
 
+	case peerData:
+		n.peerDataDelivered(pkt, p)
+
+	case peerAck:
+		n.peerAckDelivered(p)
+
 	case msgSeg:
 		h.msgs.onDeliver(pkt, p)
 
@@ -451,6 +495,12 @@ func (n *netDev) onTxDone(pkt nic.Packet, m *core.TxMapping) {
 				n.armTxFlush(f)
 			}
 		})
+
+	case peerData:
+		n.peerTxDone(pkt, p)
+
+	case peerAck:
+		n.peerAckTxDone(pkt, p)
 
 	case msgSeg:
 		h.msgs.onTxDone(pkt, p)

@@ -1,0 +1,190 @@
+package host
+
+import (
+	"fmt"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/fabric"
+	"fastsafe/internal/nic"
+	"fastsafe/internal/sim"
+	"fastsafe/internal/transport"
+)
+
+// Peer-to-peer bulk flows between two detailed hosts on a fabric. Unlike
+// the legacy rxFlow/txFlow pairs — whose far end is the abstract remote
+// host with an infinitely fast CPU and no IOMMU — a peerFlow's endpoints
+// are both full hosts: the sender pays stack CPU, Tx map/unmap and Tx
+// DMA translation on its own IOMMU; the receiver pays Rx DMA translation,
+// stack CPU and ACK-generation costs on its own. Every packet (data and
+// ACKs alike) crosses the switched fabric through the hosts' ports.
+
+// peerFlow couples a DCTCP sender on one host with a receiver on another.
+type peerFlow struct {
+	id  int // cluster-wide flow index
+	mtu int
+
+	src, dst         *netDev
+	srcCPU, dstCPU   int // device-local core indices
+	srcPort, dstPort *fabric.Port
+
+	snd *transport.Sender   // runs on src
+	rcv *transport.Receiver // runs on dst
+
+	start sim.Time // staggered first pump
+
+	// sendQueued bounds the CPU-queue work outstanding for this flow.
+	sendQueued int
+	flushArmed bool // delayed-ACK timer pending at dst
+}
+
+// Payload types carried in nic.Packet.Payload across the fabric.
+type peerData struct { // bulk data, src -> dst
+	flow *peerFlow
+	seq  int64
+}
+type peerAck struct { // ACK, dst -> src
+	flow *peerFlow
+	ack  transport.Ack
+}
+
+// ConnectPeer wires a bulk flow from this host to dst through the given
+// fabric ports. Call before Start; the Cluster does this for every
+// (src, dst) pair its traffic pattern names. srcCPU/dstCPU are
+// device-local core indices on the primary NICs of the two hosts.
+func (h *Host) ConnectPeer(dst *Host, srcPort, dstPort *fabric.Port, id, srcCPU, dstCPU int, start sim.Time) *peerFlow {
+	f := &peerFlow{
+		id:      id,
+		mtu:     h.net.spec.MTU,
+		src:     h.net,
+		dst:     dst.net,
+		srcCPU:  srcCPU,
+		dstCPU:  dstCPU,
+		srcPort: srcPort,
+		dstPort: dstPort,
+		snd:     transport.NewSender(h.cfg.Transport),
+		rcv:     transport.NewReceiver(h.cfg.Transport),
+		start:   start,
+	}
+	f.snd.Bind(transport.Endpoint{Host: h.cfg.HostID, Peer: dst.cfg.HostID})
+	f.rcv.Bind(transport.Endpoint{Host: dst.cfg.HostID, Peer: h.cfg.HostID})
+	h.net.peerTx = append(h.net.peerTx, f)
+	dst.net.peerRx = append(dst.net.peerRx, f)
+	if h.tele != nil {
+		f.snd.RegisterProbes(h.tele.reg, h.tele.name(fmt.Sprintf("%s.peerflow%d.", h.net.name, id)))
+	}
+	return f
+}
+
+// pumpPeerFlow lets the local sender of flow f enqueue packets while its
+// window allows: each transmission costs stack CPU plus the Tx mapping,
+// then a NIC Tx DMA, then the fabric. Runs on f.src's host.
+func (n *netDev) pumpPeerFlow(f *peerFlow) {
+	for f.snd.CanSend() && f.sendQueued < 64 {
+		seq, _ := f.snd.NextSend()
+		f.snd.OnSent(seq, n.h.eng.Now())
+		f.sendQueued++
+		seg := peerData{flow: f, seq: seq}
+		var m *core.TxMapping
+		n.h.core(n.cpuBase+f.srcCPU).Do(func() sim.Duration {
+			var cost sim.Duration = n.h.cfg.StackCost
+			tm, mc, err := n.dom.MapTx(f.srcCPU, n.mtuPages())
+			if err != nil {
+				panic(fmt.Sprintf("host: MapTx(peer): %v", err))
+			}
+			m = tm
+			return cost + mc
+		}, func() {
+			f.sendQueued--
+			n.dev.SendTx(nic.Packet{CPU: f.srcCPU, Bytes: f.mtu, Payload: seg}, m)
+		})
+	}
+}
+
+// sendPeerAck emits an ACK for peer flow f from the receiving host: CPU
+// work to build and map it, a NIC Tx DMA, then the fabric back to the
+// sender. Runs on f.dst's host.
+func (n *netDev) sendPeerAck(f *peerFlow, ack transport.Ack) {
+	var m *core.TxMapping
+	n.h.core(n.cpuBase+f.dstCPU).Do(func() sim.Duration {
+		tm, mc, err := n.dom.MapTx(f.dstCPU, 1)
+		if err != nil {
+			panic(fmt.Sprintf("host: MapTx(peer ack): %v", err))
+		}
+		m = tm
+		n.c.acksSent++
+		return n.h.cfg.AckTxCost + mc
+	}, func() {
+		n.dev.SendTx(nic.Packet{CPU: f.dstCPU, Bytes: 64, Payload: peerAck{f, ack}}, m)
+	})
+}
+
+// armPeerFlush schedules a delayed-ACK flush at the receiving host.
+func (n *netDev) armPeerFlush(f *peerFlow) {
+	if f.flushArmed {
+		return
+	}
+	f.flushArmed = true
+	n.h.eng.After(n.h.cfg.DelAck, func() {
+		f.flushArmed = false
+		if ack := f.rcv.FlushAck(); ack != nil {
+			n.sendPeerAck(f, *ack)
+		}
+	})
+}
+
+// peerDataDelivered handles a bulk segment whose Rx DMA into the
+// receiving host's memory completed.
+func (n *netDev) peerDataDelivered(pkt nic.Packet, p peerData) {
+	f := p.flow
+	h := n.h
+	irq := h.irqCost(n.cpuBase + f.dstCPU)
+	var pendingAck *transport.Ack
+	h.core(n.cpuBase+f.dstCPU).Do(func() sim.Duration {
+		cost := irq + n.stackCost()
+		delivered, ack := f.rcv.OnData(p.seq, pkt.ECN)
+		bytes := delivered * int64(f.mtu)
+		// Goodput lands at the receiver; the sender's Tx accounting
+		// mirrors it (delivery is what the paper's goodput counts).
+		n.c.rxDeliveredBytes += bytes
+		f.src.c.txDeliveredBytes += bytes
+		pendingAck = ack
+		return cost
+	}, func() {
+		if pendingAck != nil {
+			n.sendPeerAck(f, *pendingAck)
+		} else {
+			n.armPeerFlush(f)
+		}
+	})
+}
+
+// peerAckDelivered handles an ACK whose Rx DMA into the sending host's
+// memory completed.
+func (n *netDev) peerAckDelivered(p peerAck) {
+	f := p.flow
+	h := n.h
+	h.core(n.cpuBase+f.srcCPU).Do(func() sim.Duration {
+		f.snd.OnAck(p.ack, h.eng.Now())
+		return h.cfg.AckRxCost
+	}, func() {
+		n.pumpPeerFlow(f)
+	})
+}
+
+// peerTxDone routes a transmitted bulk segment onto the fabric toward
+// the receiving host (the Tx DMA on the sending host just completed).
+func (n *netDev) peerTxDone(pkt nic.Packet, p peerData) {
+	f := p.flow
+	f.srcPort.Send(f.dstPort.ID(), pkt.Bytes, func(ecn bool) {
+		f.dst.dev.Arrive(nic.Packet{CPU: f.dstCPU, Bytes: pkt.Bytes, ECN: ecn, Payload: p})
+	})
+}
+
+// peerAckTxDone routes a transmitted ACK onto the fabric back toward the
+// sending host.
+func (n *netDev) peerAckTxDone(pkt nic.Packet, p peerAck) {
+	f := p.flow
+	f.dstPort.Send(f.srcPort.ID(), pkt.Bytes, func(ecn bool) {
+		f.src.dev.Arrive(nic.Packet{CPU: f.srcCPU, Bytes: pkt.Bytes, ECN: ecn, Payload: p})
+	})
+}

@@ -207,6 +207,10 @@ func (h *Host) snap() snapshot {
 		s.sndRtx += f.snd.Stats().Retransmits
 		s.sndTo += f.snd.Stats().Timeouts
 	}
+	for _, f := range h.net.peerTx {
+		s.sndRtx += f.snd.Stats().Retransmits
+		s.sndTo += f.snd.Stats().Timeouts
+	}
 	if h.msgs != nil {
 		s.msgDone = h.msgs.completed
 		s.msgByte = h.msgs.completedBytes

@@ -24,6 +24,14 @@ type TelemetryConfig struct {
 	TraceL3 bool
 	// TraceLimit caps the trace points kept (0 = unlimited).
 	TraceLimit int
+
+	// Registry, when non-nil, is the registry this host registers its
+	// probe points into — a Cluster shares one registry across all its
+	// hosts. nil (the default) gives the host a private registry.
+	Registry *stats.Registry
+	// Prefix is prepended to every instrument name the host registers
+	// ("host3." in a cluster); empty for single-host runs.
+	Prefix string
 }
 
 // Telemetry is the host's metrics spine: one Registry every simulator
@@ -49,21 +57,29 @@ type TelemetryConfig struct {
 type Telemetry struct {
 	h       *Host
 	reg     *stats.Registry
+	prefix  string
 	sampler *stats.Sampler
 }
+
+// name applies the host's instrument-name prefix (empty outside clusters).
+func (t *Telemetry) name(s string) string { return t.prefix + s }
 
 // newTelemetry wires the registry over every layer already attached and,
 // when sampling is configured, registers the timeline probes.
 func newTelemetry(h *Host) *Telemetry {
-	t := &Telemetry{h: h, reg: stats.NewRegistry()}
+	reg := h.cfg.Telemetry.Registry
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	t := &Telemetry{h: h, reg: reg, prefix: h.cfg.Telemetry.Prefix}
 	r := t.reg
-	r.GaugeFunc("engine.fired", func() float64 { return float64(h.eng.Fired()) })
-	r.GaugeFunc("engine.pending", func() float64 { return float64(h.eng.Pending()) })
-	h.mmu.RegisterProbes(r, "iommu.")
-	h.bus.RegisterProbes(r, "mem.")
-	h.walker.RegisterProbes(r, "walker.")
-	h.inj.RegisterProbes(r, "fault.") // nil-safe: absent without a plan
-	h.aud.RegisterProbes(r, "audit.") // nil-safe: absent unless auditing
+	r.GaugeFunc(t.name("engine.fired"), func() float64 { return float64(h.eng.Fired()) })
+	r.GaugeFunc(t.name("engine.pending"), func() float64 { return float64(h.eng.Pending()) })
+	h.mmu.RegisterProbes(r, t.name("iommu."))
+	h.bus.RegisterProbes(r, t.name("mem."))
+	h.walker.RegisterProbes(r, t.name("walker."))
+	h.inj.RegisterProbes(r, t.name("fault.")) // nil-safe: absent without a plan
+	h.aud.RegisterProbes(r, t.name("audit.")) // nil-safe: absent unless auditing
 	for _, d := range h.devices {
 		t.addDevice(d)
 	}
@@ -79,7 +95,7 @@ func newTelemetry(h *Host) *Telemetry {
 // device.Stats view, and — for NICs — the datapath, PCIe links and
 // per-flow congestion state.
 func (t *Telemetry) addDevice(d device.Device) {
-	name := d.Name()
+	name := t.name(d.Name())
 	d.Domain().RegisterProbes(t.reg, name+".")
 	t.reg.GaugeFunc(name+".ops", func() float64 { return float64(d.Stats().Ops) })
 	t.reg.GaugeFunc(name+".bytes", func() float64 { return float64(d.Stats().Bytes) })
@@ -184,10 +200,11 @@ func (t *Telemetry) Series() []stats.Series {
 	return t.sampler.Series()
 }
 
-// Histogram returns a registered histogram by name (e.g. "rpc.latency_ns",
-// "nic0.pcie.rx.latency_ns"), or nil when absent.
+// Histogram returns a registered histogram by host-local name (e.g.
+// "rpc.latency_ns", "nic0.pcie.rx.latency_ns"), or nil when absent. In a
+// cluster the host's prefix is applied before lookup.
 func (t *Telemetry) Histogram(name string) *stats.Histogram {
-	return t.reg.LookupHistogram(name)
+	return t.reg.LookupHistogram(t.name(name))
 }
 
 // ReuseTrace returns the primary NIC domain's PTcache-L3 reuse-distance

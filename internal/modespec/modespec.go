@@ -1,0 +1,71 @@
+// Package modespec is the one place protection-mode specs coming in
+// from the outside world — CLI flags, the public facade's Options —
+// are parsed and validated. Both front ends used to duplicate the
+// parse-and-wrap dance around core.ParseMode with slightly different
+// error text; this package gives them identical, descriptive errors
+// that name every accepted mode.
+package modespec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastsafe/internal/core"
+)
+
+// Valid returns the accepted mode names: the presentation modes in
+// core.Modes() order, then the audit-only strawmen (sorted) that parse
+// but are excluded from sweeps.
+func Valid() []string {
+	names := make([]string, 0, len(core.Modes())+1)
+	seen := map[string]bool{}
+	for _, m := range core.Modes() {
+		names = append(names, m.String())
+		seen[m.String()] = true
+	}
+	var extra []string
+	for m := core.Off; ; m++ {
+		s := m.String()
+		if strings.HasPrefix(s, "mode(") {
+			break
+		}
+		if !seen[s] {
+			extra = append(extra, s)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+func parse(s, what string) (core.Mode, error) {
+	if s == "" {
+		return 0, fmt.Errorf("modespec: %s must not be empty (valid: %s)",
+			what, strings.Join(Valid(), ", "))
+	}
+	m, err := core.ParseMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("modespec: unknown %s %q (valid: %s)",
+			what, s, strings.Join(Valid(), ", "))
+	}
+	return m, nil
+}
+
+// Host parses a required host protection mode. The error names the
+// offending input and lists every valid mode.
+func Host(s string) (core.Mode, error) {
+	return parse(s, "protection mode")
+}
+
+// Device parses an optional per-device mode override: "" means inherit
+// the host mode and returns nil.
+func Device(s string) (*core.Mode, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m, err := parse(s, "device protection mode")
+	if err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

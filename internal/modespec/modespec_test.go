@@ -1,0 +1,93 @@
+package modespec
+
+import (
+	"strings"
+	"testing"
+
+	"fastsafe/internal/core"
+)
+
+func TestHostParsesEveryValidMode(t *testing.T) {
+	for _, name := range Valid() {
+		m, err := Host(name)
+		if err != nil {
+			t.Fatalf("Host(%q): %v", name, err)
+		}
+		if m.String() != name {
+			t.Fatalf("Host(%q) = %v", name, m)
+		}
+	}
+}
+
+func TestHostRejectionMessage(t *testing.T) {
+	_, err := Host("fast")
+	if err == nil {
+		t.Fatal("Host(\"fast\") accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`unknown protection mode "fast"`,
+		"valid:",
+		"strict",
+		"fns+huge",
+		"defer-noshootdown", // the strawman parses even though sweeps skip it
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestHostRejectsEmpty(t *testing.T) {
+	_, err := Host("")
+	if err == nil {
+		t.Fatal("empty mode accepted")
+	}
+	if !strings.Contains(err.Error(), "must not be empty") {
+		t.Fatalf("error %q does not explain the empty input", err)
+	}
+}
+
+func TestDeviceInheritsOnEmpty(t *testing.T) {
+	m, err := Device("")
+	if err != nil || m != nil {
+		t.Fatalf("Device(\"\") = %v, %v; want nil, nil", m, err)
+	}
+	m, err = Device("strict")
+	if err != nil || m == nil || *m != core.Strict {
+		t.Fatalf("Device(\"strict\") = %v, %v", m, err)
+	}
+}
+
+func TestDeviceRejectionMessage(t *testing.T) {
+	_, err := Device("turbo")
+	if err == nil {
+		t.Fatal("Device(\"turbo\") accepted")
+	}
+	if want := `unknown device protection mode "turbo"`; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q missing %q", err, want)
+	}
+}
+
+func TestValidCoversModesAndStrawmen(t *testing.T) {
+	valid := Valid()
+	index := map[string]int{}
+	for i, name := range valid {
+		if _, dup := index[name]; dup {
+			t.Fatalf("duplicate mode name %q", name)
+		}
+		index[name] = i
+	}
+	for i, m := range core.Modes() {
+		at, ok := index[m.String()]
+		if !ok {
+			t.Fatalf("presentation mode %v missing from Valid()", m)
+		}
+		if at != i {
+			t.Fatalf("presentation mode %v at %d, want core.Modes() order", m, at)
+		}
+	}
+	if _, ok := index[core.DeferNoShootdown.String()]; !ok {
+		t.Fatal("strawman mode missing from Valid()")
+	}
+}

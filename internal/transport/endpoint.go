@@ -1,0 +1,42 @@
+package transport
+
+import "fmt"
+
+// Endpoint names one side of a flow in a cluster: the host the state
+// machine runs on and the peer host at the far end. Before the fabric
+// layer existed the wire was an implicit singleton — every sender talked
+// to "the" remote host — so endpoints carried no address. With N hosts
+// on a switched fabric every Sender/Receiver binds to a (host, peer)
+// pair; AbstractPeer marks the legacy single-host topology's modelless
+// remote end.
+type Endpoint struct {
+	Host int // host this state machine runs on
+	Peer int // far-end host, or AbstractPeer
+}
+
+// AbstractPeer is the Peer of a flow terminating at the abstract remote
+// host of the single-host experiments (infinitely fast CPU, no IOMMU).
+const AbstractPeer = -1
+
+// Abstract reports whether the far end is the abstract remote host.
+func (e Endpoint) Abstract() bool { return e.Peer == AbstractPeer }
+
+func (e Endpoint) String() string {
+	if e.Abstract() {
+		return fmt.Sprintf("host%d->remote", e.Host)
+	}
+	return fmt.Sprintf("host%d->host%d", e.Host, e.Peer)
+}
+
+// Bind attaches the sender to a (host, peer) pair. The zero endpoint
+// ({0, 0}) means unbound; single-host flows bind {0, AbstractPeer}.
+func (s *Sender) Bind(ep Endpoint) { s.ep = ep }
+
+// Endpoint returns the sender's bound (host, peer) pair.
+func (s *Sender) Endpoint() Endpoint { return s.ep }
+
+// Bind attaches the receiver to a (host, peer) pair.
+func (r *Receiver) Bind(ep Endpoint) { r.ep = ep }
+
+// Endpoint returns the receiver's bound (host, peer) pair.
+func (r *Receiver) Endpoint() Endpoint { return r.ep }
