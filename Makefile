@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline \
-	faults bench-faults bench-cluster cover golden-check lint ci
+	faults bench-faults bench-cluster bench-clusterscale scale-gate cover \
+	golden-check lint ci
 
 all: build
 
@@ -47,6 +48,15 @@ bench-faults:
 
 bench-cluster:
 	$(GO) run ./cmd/fsbench -fig cluster -quick -json > BENCH_cluster.json
+
+bench-clusterscale:
+	$(GO) run ./cmd/fsbench -fig clusterscale -quick -json > BENCH_clusterscale.json
+
+# The CI cluster-scale gate: asserts the sharded engine's >= 1.5x
+# wall-clock speedup at 4 shards / 64 hosts. Needs >= 4 idle cores; the
+# test skips itself otherwise.
+scale-gate:
+	CLUSTER_SCALE_GATE=1 $(GO) test -run TestClusterScaleSpeedup -v ./internal/host
 
 # The fault-campaign gate: safety figure plus the replay-determinism and
 # safety-property sweeps. FAULT_SEEDS widens the sweep (CI uses 64, the

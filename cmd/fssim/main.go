@@ -11,6 +11,12 @@
 //	fssim -mode fns -faults 1 -faultseed 7    # canonical fault campaign
 //	fssim -hosts 8 -mode fns -traffic incast  # 8-host cluster, 7:1 incast
 //	fssim -hosts 4 -traffic alltoall -oversub 2   # oversubscribed core
+//	fssim -hosts 64 -shards 4 -traffic pairs  # conservative-parallel engine
+//
+// -shards N splits a cluster run across N engine shards executed with
+// conservative parallel DES (results stay deterministic and independent
+// of the shard count; wall-clock drops on multi-core machines for
+// balanced traffic patterns).
 //
 // -hosts N (N >= 2) switches to cluster mode: N full hosts — each with
 // its own IOMMU, page tables, cores and devices — exchange traffic over
@@ -87,6 +93,7 @@ func main() {
 	fabricgbps := flag.Float64("fabricgbps", 0, "fabric port line rate, Gbps (0: NIC line rate)")
 	oversub := flag.Float64("oversub", 0, "fabric core oversubscription factor (0: non-blocking)")
 	flowsperpair := flag.Int("flowsperpair", 1, "cluster flows per (src,dst) host pair")
+	shards := flag.Int("shards", 1, "cluster engine shards for conservative-parallel execution (1: single engine)")
 	flag.Parse()
 
 	m, err := modespec.Host(*mode)
@@ -161,7 +168,7 @@ func main() {
 	}
 
 	if *hosts > 0 {
-		runCluster(*hosts, *traffic, *flowsperpair, *fabricgbps, *oversub,
+		runCluster(*hosts, *traffic, *flowsperpair, *fabricgbps, *oversub, *shards,
 			hostCfg, *seed, *seeds, *parallel,
 			sim.Duration(*warmup)*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
 		return
@@ -215,7 +222,7 @@ func main() {
 // runCluster simulates N full hosts on a switched fabric and prints the
 // aggregate plus per-host results (and per-host safety when auditing).
 func runCluster(hosts int, traffic string, flowsPerPair int, fabricGbps, oversub float64,
-	hostCfg func(int64) host.Config, seed int64, seeds, parallel int,
+	shards int, hostCfg func(int64) host.Config, seed int64, seeds, parallel int,
 	warmup, measure sim.Duration) {
 	tp, err := host.ParseTraffic(traffic)
 	if err != nil {
@@ -227,6 +234,7 @@ func runCluster(hosts int, traffic string, flowsPerPair int, fabricGbps, oversub
 			Hosts:        hosts,
 			Traffic:      tp,
 			FlowsPerPair: flowsPerPair,
+			Shards:       shards,
 			Host:         hostCfg(s),
 			Fabric:       fabric.Config{PortGbps: fabricGbps, Oversub: oversub},
 		})

@@ -421,6 +421,14 @@ type ClusterOptions struct {
 	// Oversub is the fabric core oversubscription factor: the shared
 	// core runs at hosts*FabricGbps/Oversub. 0 keeps it non-blocking.
 	Oversub float64
+	// Shards splits the simulation across that many conservative-
+	// parallel engine shards (hosts are assigned contiguously), letting
+	// large clusters use multiple OS cores. 0 or 1 runs everything on
+	// one engine — the default, and byte-identical to releases without
+	// sharding. Values above Hosts clamp to one host per shard. Results
+	// are deterministic for a given configuration regardless of Shards
+	// or GOMAXPROCS.
+	Shards int
 
 	// Host configures every host identically. Flows and TxFlows are
 	// ignored — cluster hosts run the pattern's peer flows instead of
@@ -438,6 +446,8 @@ func (o ClusterOptions) validate() error {
 		return fmt.Errorf("fastsafe: FabricGbps must be >= 0, got %g", o.FabricGbps)
 	case o.Oversub < 0:
 		return fmt.Errorf("fastsafe: Oversub must be >= 0, got %g", o.Oversub)
+	case o.Shards < 0:
+		return fmt.Errorf("fastsafe: Shards must be >= 0, got %d", o.Shards)
 	}
 	if o.Traffic != "" {
 		if _, err := host.ParseTraffic(o.Traffic); err != nil {
@@ -479,6 +489,7 @@ func SimulateCluster(o ClusterOptions) (ClusterReport, error) {
 		Hosts:        o.Hosts,
 		Traffic:      host.TrafficPattern(o.Traffic),
 		FlowsPerPair: o.FlowsPerPair,
+		Shards:       o.Shards,
 		Host:         cfg,
 		Fabric: fabric.Config{
 			PortGbps: o.FabricGbps,

@@ -271,6 +271,40 @@ func TestSimulateClusterDegenerate(t *testing.T) {
 	}
 }
 
+// TestSimulateClusterSharded: the facade's Shards knob reproduces the
+// single-engine run for a balanced pattern — sharding picks where the
+// simulation executes, never what it computes.
+func TestSimulateClusterSharded(t *testing.T) {
+	opts := func(shards int) ClusterOptions {
+		return ClusterOptions{
+			Hosts:   4,
+			Traffic: "pairs",
+			Shards:  shards,
+			Host:    Options{Mode: FNS, WarmupMS: 1, MeasureMS: 2, Audit: true},
+		}
+	}
+	base, err := SimulateCluster(opts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := SimulateCluster(opts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.AggRxGbps != base.AggRxGbps || sharded.AggTxGbps != base.AggTxGbps {
+		t.Fatalf("sharded aggregates (%v, %v) != single-engine (%v, %v)",
+			sharded.AggRxGbps, sharded.AggTxGbps, base.AggRxGbps, base.AggTxGbps)
+	}
+	if sharded.StaleServedDMAs != 0 {
+		t.Fatalf("stale-served DMAs: %d", sharded.StaleServedDMAs)
+	}
+	for i := range sharded.Hosts {
+		if sharded.Hosts[i].RxGbps != base.Hosts[i].RxGbps {
+			t.Fatalf("host%d goodput %v != %v", i, sharded.Hosts[i].RxGbps, base.Hosts[i].RxGbps)
+		}
+	}
+}
+
 func TestSimulateClusterDefaultsToStrict(t *testing.T) {
 	r, err := SimulateCluster(ClusterOptions{
 		Hosts: 2,
@@ -296,6 +330,7 @@ func TestClusterOptionsValidation(t *testing.T) {
 		{"negative oversub", ClusterOptions{Hosts: 2, Oversub: -2}, "Oversub"},
 		{"negative fpp", ClusterOptions{Hosts: 2, FlowsPerPair: -1}, "FlowsPerPair"},
 		{"bad host mode", ClusterOptions{Hosts: 2, Host: Options{Mode: "bogus"}}, "bogus"},
+		{"negative shards", ClusterOptions{Hosts: 2, Shards: -1}, "Shards"},
 	}
 	for _, c := range cases {
 		if _, err := SimulateCluster(c.o); err == nil || !strings.Contains(err.Error(), c.want) {

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"fastsafe/internal/host"
 )
 
 // tiny returns extremely short windows so the whole figure set can be
@@ -159,6 +161,46 @@ func TestClusterTrends(t *testing.T) {
 		if fns[i] <= strict[i] {
 			t.Errorf("fns %v not above strict %v at index %d", fns[i], strict[i], i)
 		}
+	}
+}
+
+// TestClusterScaleShape runs the clusterscale machinery on a reduced
+// grid: deterministic columns in Rows, wall-clock and speedup in Notes
+// (JSON only — the golden-locked rendering must exclude them).
+func TestClusterScaleShape(t *testing.T) {
+	cells := []clusterScaleCell{
+		{host.Pairs, 8, 1}, {host.Pairs, 8, 2},
+	}
+	tab := clusterScaleTable(cells, tiny())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	if tab.Rows[0][2] != "1" || tab.Rows[1][2] != "2" {
+		t.Fatalf("shards column = %v", tab.Rows)
+	}
+	if tab.Rows[0][3] != tab.Rows[1][3] {
+		t.Fatalf("sharded goodput %s != unsharded %s", tab.Rows[1][3], tab.Rows[0][3])
+	}
+	if tab.Rows[0][4] != "0" {
+		t.Fatalf("unsharded rounds = %s, want 0", tab.Rows[0][4])
+	}
+	if tab.Rows[1][4] == "0" {
+		t.Fatal("sharded run reported zero coordinator rounds")
+	}
+	if len(tab.Notes) != 3 { // one wall-clock note per cell + one speedup
+		t.Fatalf("notes = %v", tab.Notes)
+	}
+	if !strings.Contains(tab.Notes[2], "speedup_shards2=") {
+		t.Fatalf("missing speedup note: %v", tab.Notes)
+	}
+	if !strings.Contains(tab.JSON(), "\"notes\"") {
+		t.Fatal("JSON rendering dropped the notes")
+	}
+	if out := tab.String(); strings.Contains(out, "wall_ms") {
+		t.Fatalf("golden-locked rendering leaked wall-clock notes:\n%s", out)
+	}
+	if out := tab.CSV(); strings.Contains(out, "wall_ms") {
+		t.Fatalf("CSV rendering leaked wall-clock notes:\n%s", out)
 	}
 }
 

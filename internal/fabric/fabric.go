@@ -71,9 +71,13 @@ func (w *Link) Backlog() int {
 	return int(float64(w.busyUntil-now) * w.gbps / 8)
 }
 
-// Send serialises a packet onto the link; deliver fires at the far end
-// with the packet's ECN mark.
-func (w *Link) Send(bytes int, deliver func(ecn bool)) {
+// SendAt serialises a packet onto the link and returns the virtual time
+// it reaches the far end together with its ECN mark, without scheduling
+// the delivery. The returned time is always at least the link's
+// propagation delay in the future, which is what lets a sharded fabric
+// turn the delivery into a cross-shard message with positive lookahead.
+// Callers must run on the link's owning engine.
+func (w *Link) SendAt(bytes int) (at sim.Time, ecn bool) {
 	now := w.eng.Now()
 	if dt := now - w.lastSample; dt > 0 {
 		// Discrete-time EWMA: decay toward the instantaneous backlog.
@@ -81,11 +85,11 @@ func (w *Link) Send(bytes int, deliver func(ecn bool)) {
 		w.avgBacklog += (float64(w.Backlog()) - w.avgBacklog) * alpha
 		w.lastSample = now
 	}
-	ecn := w.ecnK > 0 && w.avgBacklog > float64(w.ecnK)
+	ecn = w.ecnK > 0 && w.avgBacklog > float64(w.ecnK)
 	if ecn {
 		w.marked++
 	}
-	start := w.eng.Now()
+	start := now
 	if w.busyUntil > start {
 		start = w.busyUntil
 	}
@@ -93,7 +97,14 @@ func (w *Link) Send(bytes int, deliver func(ecn bool)) {
 	w.busyUntil = start + ser
 	w.bytes += int64(bytes)
 	w.packets++
-	w.eng.At(w.busyUntil+w.prop, func() { deliver(ecn) })
+	return w.busyUntil + w.prop, ecn
+}
+
+// Send serialises a packet onto the link; deliver fires at the far end
+// with the packet's ECN mark.
+func (w *Link) Send(bytes int, deliver func(ecn bool)) {
+	at, ecn := w.SendAt(bytes)
+	w.eng.At(at, func() { deliver(ecn) })
 }
 
 // Bytes returns the total bytes sent.
@@ -142,13 +153,58 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// hops returns the number of store-and-forward hops a packet takes:
+// uplink + downlink, plus the shared core when oversubscribed.
+func (c Config) hops() sim.Duration {
+	if c.Oversub > 0 {
+		return 3
+	}
+	return 2
+}
+
+// PerHopProp returns the per-hop propagation delay the switch splits its
+// end-to-end budget into. Every packet that leaves a port spends at least
+// this long in flight before it can touch another port's state, so it is
+// the conservative lower bound on cross-shard event causality — the
+// lookahead a sharded cluster hands to sim.NewShards.
+func (c Config) PerHopProp() sim.Duration {
+	c = c.withDefaults()
+	return c.Prop / c.hops()
+}
+
+// Router posts cross-shard packet hops when the switch's ports live on
+// different engine shards. gen is the virtual time the hop was generated
+// at and at its delivery time; implementations must schedule fn at time
+// at on the engine owning the destination (sim.Shards.Post has exactly
+// this contract). The switch guarantees at >= gen + PerHopProp() for
+// every hop it routes.
+type Router interface {
+	// PostPort schedules fn in the shard owning port dst. src is the port
+	// whose shard generated the hop, or CorePort when the hop leaves the
+	// shared core link.
+	PostPort(src, dst int, gen, at sim.Time, fn func())
+	// PostCore schedules fn in the shard owning the core link.
+	PostCore(src int, gen, at sim.Time, fn func())
+}
+
+// CorePort is the pseudo port id routers see as the source of hops that
+// leave the shared core link.
+const CorePort = -1
+
 // Switch is an N-port switched fabric. Ports are created up front so the
 // core link (when oversubscribed) can be sized to the port count.
+//
+// A switch is either engine-confined (NewSwitch: every link on one shared
+// engine, hops chained as ordinary local events) or sharded
+// (NewShardedSwitch: each port's links on its owner host's engine, hops
+// between ports posted through a Router as conservative cross-shard
+// messages).
 type Switch struct {
-	eng   *sim.Engine
-	cfg   Config
-	ports []*Port
-	core  *Link // shared core hop, nil when non-blocking
+	eng    *sim.Engine
+	cfg    Config
+	ports  []*Port
+	core   *Link  // shared core hop, nil when non-blocking
+	router Router // nil for the engine-confined (unsharded) fabric
 }
 
 // Port is one host's attachment point: an uplink into the switch and a
@@ -162,8 +218,27 @@ type Port struct {
 	down *Link // switch -> host
 }
 
-// NewSwitch builds a fabric with n ports.
+// NewSwitch builds an engine-confined fabric with n ports.
 func NewSwitch(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
+	return newSwitch(n, cfg, func(int) *sim.Engine { return eng }, eng, nil)
+}
+
+// NewShardedSwitch builds a fabric whose ports live on per-shard engines:
+// port i's uplink and downlink are driven by engOf(i), the core link
+// (when oversubscribed) by coreEng, and hops between ports owned by
+// different engines cross through r. The per-hop propagation delay
+// (Config.PerHopProp) guarantees every routed hop a positive lookahead.
+func NewShardedSwitch(n int, cfg Config, engOf func(port int) *sim.Engine, coreEng *sim.Engine, r Router) (*Switch, error) {
+	if r == nil {
+		return nil, fmt.Errorf("fabric: a sharded switch needs a router")
+	}
+	if cfg.withDefaults().PerHopProp() <= 0 {
+		return nil, fmt.Errorf("fabric: sharded switch needs a positive per-hop propagation, got %v", cfg.withDefaults().PerHopProp())
+	}
+	return newSwitch(n, cfg, engOf, coreEng, r)
+}
+
+func newSwitch(n int, cfg Config, engOf func(port int) *sim.Engine, coreEng *sim.Engine, r Router) (*Switch, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("fabric: a switch needs at least 2 ports, got %d", n)
 	}
@@ -171,15 +246,13 @@ func NewSwitch(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
 	if cfg.Oversub < 0 {
 		return nil, fmt.Errorf("fabric: Oversub must be >= 0, got %g", cfg.Oversub)
 	}
-	s := &Switch{eng: eng, cfg: cfg}
+	s := &Switch{eng: coreEng, cfg: cfg, router: r}
 	// The end-to-end propagation budget is split across the hops a packet
 	// takes, so a 2-port fabric matches a direct 2us link.
-	hops := sim.Duration(2)
-	if cfg.Oversub > 0 {
-		hops = 3
-	}
+	hops := cfg.hops()
 	prop := cfg.Prop / hops
 	for i := 0; i < n; i++ {
+		eng := engOf(i)
 		p := &Port{
 			sw:   s,
 			id:   i,
@@ -190,7 +263,7 @@ func NewSwitch(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
 		s.ports = append(s.ports, p)
 	}
 	if cfg.Oversub > 0 {
-		core := NewLink(eng, float64(n)*cfg.PortGbps/cfg.Oversub, prop)
+		core := NewLink(coreEng, float64(n)*cfg.PortGbps/cfg.Oversub, prop)
 		core.SetECN(cfg.ECNK)
 		s.core = core
 	}
@@ -206,6 +279,15 @@ func (s *Switch) Port(i int) *Port { return s.ports[i] }
 // ID returns the port's index.
 func (p *Port) ID() int { return p.id }
 
+// Uplink returns the host -> switch link.
+func (p *Port) Uplink() *Link { return p.up }
+
+// Downlink returns the switch -> host link.
+func (p *Port) Downlink() *Link { return p.down }
+
+// Core returns the shared core link, or nil for a non-blocking fabric.
+func (s *Switch) Core() *Link { return s.core }
+
 // Send carries a packet from this port's host to dst's host: serialise
 // on the uplink, cross the (possibly oversubscribed) core, queue at the
 // destination's downlink port FIFO, then deliver with the OR of every
@@ -215,6 +297,32 @@ func (p *Port) Send(dst int, bytes int, deliver func(ecn bool)) {
 		panic(fmt.Sprintf("fabric: port %d sending to invalid port %d", p.id, dst))
 	}
 	out := p.sw.ports[dst]
+	if r := p.sw.router; r != nil {
+		// Sharded path: the uplink's serialisation outcome is computed
+		// synchronously (SendAt), so the hop into the next stage leaves as
+		// a timestamped message at least one per-hop propagation in the
+		// future — the router's lookahead guarantee. Each subsequent stage
+		// runs on the engine owning its link.
+		gen := p.up.eng.Now()
+		upAt, ecnUp := p.up.SendAt(bytes)
+		if p.sw.core != nil {
+			r.PostCore(p.id, gen, upAt, func() {
+				coreAt, ecnCore := p.sw.core.SendAt(bytes)
+				r.PostPort(CorePort, dst, upAt, coreAt, func() {
+					out.down.Send(bytes, func(ecnDown bool) {
+						deliver(ecnUp || ecnCore || ecnDown)
+					})
+				})
+			})
+			return
+		}
+		r.PostPort(p.id, dst, gen, upAt, func() {
+			out.down.Send(bytes, func(ecnDown bool) {
+				deliver(ecnUp || ecnDown)
+			})
+		})
+		return
+	}
 	p.up.Send(bytes, func(ecnUp bool) {
 		if core := p.sw.core; core != nil {
 			core.Send(bytes, func(ecnCore bool) {
@@ -235,9 +343,24 @@ func (p *Port) Send(dst int, bytes int, deliver func(ecn bool)) {
 // "fabric.port0.up.bytes".
 func (s *Switch) RegisterProbes(r *stats.Registry, prefix string) {
 	for _, p := range s.ports {
-		p.up.RegisterProbes(r, fmt.Sprintf("%sport%d.up.", prefix, p.id))
-		p.down.RegisterProbes(r, fmt.Sprintf("%sport%d.down.", prefix, p.id))
+		s.RegisterPortProbes(r, prefix, p.id)
 	}
+	s.RegisterCoreProbes(r, prefix)
+}
+
+// RegisterPortProbes exposes port i's uplink/downlink counters under
+// prefix. Sharded clusters register each port's probes into the registry
+// owned by the port's shard, so probe reads stay engine-confined.
+func (s *Switch) RegisterPortProbes(r *stats.Registry, prefix string, i int) {
+	p := s.ports[i]
+	p.up.RegisterProbes(r, fmt.Sprintf("%sport%d.up.", prefix, p.id))
+	p.down.RegisterProbes(r, fmt.Sprintf("%sport%d.down.", prefix, p.id))
+}
+
+// RegisterCoreProbes exposes the shared core link's counters under
+// prefix (a no-op for non-blocking fabrics). Sharded clusters call this
+// against the core-owning shard's registry.
+func (s *Switch) RegisterCoreProbes(r *stats.Registry, prefix string) {
 	if s.core != nil {
 		s.core.RegisterProbes(r, prefix+"core.")
 	}

@@ -9,16 +9,22 @@ import (
 	"fastsafe/internal/stats"
 )
 
-// Cluster builds N full hosts on one shared event engine and routes
-// their bulk flows through a switched fabric. Every host is the same
-// detailed machine the single-host experiments measure — own IOMMU,
-// IOVA allocators, page tables, PCIe links, per-core CPU queues — so
-// protection costs are paid at both ends of every flow, and congestion
-// forms where it does in a real rack: at the receiver's switch port
-// under incast.
+// Cluster builds N full hosts and routes their bulk flows through a
+// switched fabric. Every host is the same detailed machine the
+// single-host experiments measure — own IOMMU, IOVA allocators, page
+// tables, PCIe links, per-core CPU queues — so protection costs are paid
+// at both ends of every flow, and congestion forms where it does in a
+// real rack: at the receiver's switch port under incast.
 //
-// A Cluster is single-goroutine like a Host; distinct Clusters share no
-// state, so internal/runner can execute many concurrently.
+// With Shards == 1 (the default) the whole cluster shares one event
+// engine and a Cluster is single-goroutine like a Host. With Shards > 1
+// the hosts are partitioned across engine shards run as a conservative
+// parallel DES (sim.Shards): each shard's event loop runs on its own
+// goroutine inside synchronized lookahead windows, cross-host packets
+// travel as timestamped cross-shard messages, and results remain
+// bit-deterministic for a given seed at any GOMAXPROCS. Distinct
+// Clusters still share no state, so internal/runner can execute many
+// concurrently either way.
 
 // TrafficPattern names how cluster hosts pair up for bulk flows.
 type TrafficPattern string
@@ -49,6 +55,15 @@ type ClusterConfig struct {
 	Traffic      TrafficPattern // flow pattern (default Incast)
 	FlowsPerPair int            // DCTCP flows per (src, dst) pair (default 1)
 
+	// Shards partitions the hosts across that many engine shards run
+	// under conservative parallel DES (sim.Shards), with lookahead equal
+	// to the fabric's per-hop propagation delay. 0 or 1 — the default —
+	// keeps every host on one shared engine, the exact legacy code path.
+	// Values above Hosts are clamped to Hosts (one host per shard).
+	// Results are deterministic for a given seed at any shard count and
+	// independent of GOMAXPROCS.
+	Shards int
+
 	// Host configures every host identically (flow counts are overridden:
 	// cluster hosts run peer flows instead of abstract-remote bulk flows).
 	Host Config
@@ -72,6 +87,12 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	}
 	if c.FlowsPerPair <= 0 {
 		c.FlowsPerPair = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.Hosts {
+		c.Shards = c.Hosts
 	}
 	return c
 }
@@ -103,10 +124,33 @@ func (c ClusterConfig) pairs() [][2]int {
 // Cluster is the N-host simulation.
 type Cluster struct {
 	cfg   ClusterConfig
-	eng   *sim.Engine
+	eng   *sim.Engine // shared engine (Shards==1) or shard 0's engine
 	sw    *fabric.Switch
 	hosts []*Host
 	reg   *stats.Registry
+
+	// Sharded-mode state, nil/empty when Shards == 1.
+	shards  *sim.Shards
+	shardOf []int // host ID -> owning shard
+}
+
+// clusterRouter carries cross-shard fabric hops: port i belongs to host
+// i's shard, the core link to shard 0.
+type clusterRouter struct{ c *Cluster }
+
+func (r clusterRouter) shardOfPort(p int) int {
+	if p == fabric.CorePort {
+		return 0
+	}
+	return r.c.shardOf[p]
+}
+
+func (r clusterRouter) PostPort(src, dst int, gen, at sim.Time, fn func()) {
+	r.c.shards.Post(r.shardOfPort(src), r.c.shardOf[dst], gen, at, fn)
+}
+
+func (r clusterRouter) PostCore(src int, gen, at sim.Time, fn func()) {
+	r.c.shards.Post(r.shardOfPort(src), 0, gen, at, fn)
 }
 
 // NewCluster builds the hosts, the switch, and the peer flows the
@@ -120,9 +164,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	base := cfg.Host.withDefaults()
-	eng := sim.NewEngine(base.Seed)
-	reg := stats.NewRegistry()
-	c := &Cluster{cfg: cfg, eng: eng, reg: reg}
+	c := &Cluster{cfg: cfg}
 
 	pairs := cfg.pairs()
 	outgoing := make([]int, cfg.Hosts) // peer flows originating per host
@@ -140,15 +182,57 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if fc.Prop == 0 {
 		fc.Prop = base.PropDelay
 	}
-	sw, err := fabric.NewSwitch(eng, cfg.Hosts, fc)
-	if err != nil {
-		return nil, err
+
+	// Engine + registry wiring: one of each shared by everything at
+	// Shards==1 (the legacy path, byte-identical behaviour), or one per
+	// shard with hosts assigned contiguously and registries merged at the
+	// end. Per-shard registries keep every instrument engine-confined
+	// during parallel rounds; names are disjoint (hostN.*, fabric.portN.*,
+	// fabric.core.*) so the merge is a pure adoption.
+	var (
+		regs  []*stats.Registry
+		engOf func(i int) *sim.Engine
+	)
+	if cfg.Shards == 1 {
+		eng := sim.NewEngine(base.Seed)
+		reg := stats.NewRegistry()
+		c.eng, c.reg = eng, reg
+		regs = []*stats.Registry{reg}
+		engOf = func(int) *sim.Engine { return eng }
+		sw, err := fabric.NewSwitch(eng, cfg.Hosts, fc)
+		if err != nil {
+			return nil, err
+		}
+		c.sw = sw
+	} else {
+		la := fc.PerHopProp()
+		if la <= 0 {
+			return nil, fmt.Errorf("host: sharded cluster needs positive fabric propagation, got per-hop %v", la)
+		}
+		c.shards = sim.NewShards(cfg.Shards, base.Seed, la)
+		c.eng = c.shards.Engine(0)
+		c.shardOf = make([]int, cfg.Hosts)
+		for i := range c.shardOf {
+			c.shardOf[i] = i * cfg.Shards / cfg.Hosts
+		}
+		regs = make([]*stats.Registry, cfg.Shards)
+		for i := range regs {
+			regs[i] = stats.NewRegistry()
+		}
+		engOf = func(i int) *sim.Engine { return c.shards.Engine(c.shardOf[i]) }
+		sw, err := fabric.NewShardedSwitch(cfg.Hosts, fc,
+			func(port int) *sim.Engine { return engOf(port) },
+			c.shards.Engine(0), clusterRouter{c})
+		if err != nil {
+			return nil, err
+		}
+		c.sw = sw
 	}
-	c.sw = sw
+	sw := c.sw
 
 	for i := 0; i < cfg.Hosts; i++ {
 		hc := base
-		hc.Engine = eng
+		hc.Engine = engOf(i)
 		hc.HostID = i
 		hc.Seed = base.Seed + int64(i)*clusterSeedStride
 		// Cluster hosts run peer flows only: no abstract-remote bulk flows.
@@ -158,11 +242,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if hc.PeerSlots > maxPeerSlots {
 			hc.PeerSlots = maxPeerSlots
 		}
-		hc.Telemetry.Registry = reg
+		hc.Telemetry.Registry = regs[c.shardIdx(i)]
 		hc.Telemetry.Prefix = fmt.Sprintf("host%d.", i)
 		h, err := New(hc)
 		if err != nil {
 			return nil, fmt.Errorf("host: cluster host %d: %w", i, err)
+		}
+		if c.shards != nil {
+			id := i
+			h.shardPost = func(dst *Host, fn func()) {
+				s, d := c.shardOf[id], c.shardOf[dst.cfg.HostID]
+				if s == d {
+					fn()
+					return
+				}
+				now := c.shards.Engine(s).Now()
+				c.shards.Post(s, d, now, now, fn)
+			}
 		}
 		c.hosts = append(c.hosts, h)
 	}
@@ -182,11 +278,44 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			flowID++
 		}
 	}
-	sw.RegisterProbes(reg, "fabric.")
+	if cfg.Shards == 1 {
+		sw.RegisterProbes(c.reg, "fabric.")
+	} else {
+		for i := 0; i < cfg.Hosts; i++ {
+			sw.RegisterPortProbes(regs[c.shardIdx(i)], "fabric.", i)
+		}
+		sw.RegisterCoreProbes(regs[0], "fabric.")
+		// Merged read-only view across all shards; safe to read at
+		// barriers (between Run windows) and after the run.
+		c.reg = stats.NewRegistry()
+		for _, r := range regs {
+			c.reg.Adopt(r)
+		}
+	}
 	return c, nil
 }
 
-// Engine returns the shared event engine.
+// shardIdx returns the shard owning host i (0 when unsharded).
+func (c *Cluster) shardIdx(i int) int {
+	if c.shardOf == nil {
+		return 0
+	}
+	return c.shardOf[i]
+}
+
+// Shards returns the number of engine shards the cluster runs on.
+func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// Rounds returns the synchronization rounds the shard coordinator has
+// executed (0 when unsharded).
+func (c *Cluster) Rounds() uint64 {
+	if c.shards == nil {
+		return 0
+	}
+	return c.shards.Rounds()
+}
+
+// Engine returns the shared event engine (shard 0's when sharded).
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
 
 // Hosts returns the cluster's hosts in ID order.
@@ -241,18 +370,30 @@ func (c *Cluster) Start() {
 	}
 }
 
+// run advances the whole cluster to deadline: the shared engine when
+// unsharded, the conservative shard coordinator otherwise. Either way all
+// clocks align to deadline on return, so the snapshots Run takes observe
+// every shard at the same virtual instant.
+func (c *Cluster) run(deadline sim.Duration) {
+	if c.shards != nil {
+		c.shards.Run(deadline)
+		return
+	}
+	c.eng.Run(deadline)
+}
+
 // Run starts the workloads, runs a warmup window, then measures for the
 // given duration and returns per-host and aggregate results.
 func (c *Cluster) Run(warmup, measure sim.Duration) ClusterResults {
 	c.Start()
-	c.eng.Run(warmup)
+	c.run(warmup)
 	befores := make([]snapshot, len(c.hosts))
 	for i, h := range c.hosts {
 		h.net.rx.Latency().Reset()
 		h.net.tx.Latency().Reset()
 		befores[i] = h.snap()
 	}
-	c.eng.Run(warmup + measure)
+	c.run(warmup + measure)
 	r := ClusterResults{Mode: c.cfg.Host.Mode.String(), Measure: measure}
 	for i, h := range c.hosts {
 		hr := h.results(befores[i], h.snap())

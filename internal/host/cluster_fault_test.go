@@ -1,0 +1,97 @@
+package host
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"fastsafe/internal/core"
+	"fastsafe/internal/fault"
+	"fastsafe/internal/sim"
+)
+
+// clusterFaultSeeds is the cluster campaign's sweep width. It reuses the
+// FAULT_SEEDS knob the single-host gauntlet reads (CI 64, nightly 1024)
+// but divides it by 16: every cluster seed costs three 8-host runs, so
+// the nightly 1024-seed directive becomes a 64-seed cluster sweep.
+func clusterFaultSeeds(t *testing.T) int {
+	n := 64 // local default -> 4 seeds
+	if v := os.Getenv("FAULT_SEEDS"); v != "" {
+		i, err := strconv.Atoi(v)
+		if err != nil || i < 1 {
+			t.Fatalf("FAULT_SEEDS=%q: want a positive integer", v)
+		}
+		n = i
+	}
+	if n = n / 16; n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// TestClusterFaultCampaign runs the adversarial fault campaign against
+// sharded clusters: 8 hosts, incast, campaign intensity 0.3, with the
+// translation auditor on every host. Per seed it checks the two
+// properties the nightly sweep exists for — a sharded faulted run
+// replays byte-identically under the same (seed, fault seed), and no
+// host ever serves a stale DMA, sharded or not. Fault injection must be
+// non-vacuous on both engine paths.
+func TestClusterFaultCampaign(t *testing.T) {
+	const (
+		hosts   = 8
+		shards  = 2
+		warmup  = 1 * sim.Millisecond
+		measure = 2 * sim.Millisecond
+	)
+	plan := fault.Campaign(0.3)
+	run := func(t *testing.T, seed int64, nShards int) (string, ClusterResults) {
+		c, err := NewCluster(ClusterConfig{
+			Hosts:   hosts,
+			Traffic: Incast,
+			Shards:  nShards,
+			Host: Config{
+				Mode:      core.FNS,
+				Seed:      seed,
+				Faults:    plan,
+				FaultSeed: seed,
+				Audit:     true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := c.Run(warmup, measure)
+		return clusterKey(r), r
+	}
+	for i := 0; i < clusterFaultSeeds(t); i++ {
+		seed := int64(i + 1)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			key1, r1 := run(t, seed, shards)
+			key2, _ := run(t, seed, shards)
+			if key1 != key2 {
+				t.Fatalf("sharded faulted replay diverged for seed %d", seed)
+			}
+			_, unsharded := run(t, seed, 1)
+			for _, r := range []ClusterResults{r1, unsharded} {
+				if v := r.Violations(); v != 0 {
+					t.Fatalf("fns cluster served %d stale DMAs (seed %d)", v, seed)
+				}
+				var injected, checked int64
+				for _, h := range r.Hosts {
+					injected += h.FaultsInjected
+					if h.Safety != nil {
+						checked += h.Safety.Checked
+					}
+				}
+				if injected == 0 {
+					t.Fatalf("campaign injected nothing (seed %d) — the sweep is vacuous", seed)
+				}
+				if checked == 0 {
+					t.Fatalf("auditor checked nothing (seed %d) — the sweep is vacuous", seed)
+				}
+			}
+		})
+	}
+}

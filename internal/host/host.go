@@ -229,6 +229,13 @@ type Host struct {
 
 	storageCount int // storage devices attached so far (cpu/seed slots)
 	started      bool
+
+	// shardPost, when set by a sharded Cluster, routes a mutation of
+	// another host's state to that host's engine shard (running it inline
+	// when both hosts share a shard). Nil for standalone hosts and
+	// single-shard clusters, where cross-host writes are ordinary
+	// same-engine calls.
+	shardPost func(dst *Host, fn func())
 }
 
 // New builds the host per cfg. Additional cores are created on demand for

@@ -146,7 +146,7 @@ func (n *netDev) peerDataDelivered(pkt nic.Packet, p peerData) {
 		// Goodput lands at the receiver; the sender's Tx accounting
 		// mirrors it (delivery is what the paper's goodput counts).
 		n.c.rxDeliveredBytes += bytes
-		f.src.c.txDeliveredBytes += bytes
+		n.creditPeerTx(f.src, bytes)
 		pendingAck = ack
 		return cost
 	}, func() {
@@ -156,6 +156,24 @@ func (n *netDev) peerDataDelivered(pkt nic.Packet, p peerData) {
 			n.armPeerFlush(f)
 		}
 	})
+}
+
+// creditPeerTx mirrors delivered peer-flow bytes into the sending host's
+// Tx accounting. Same-engine clusters apply it inline — exactly the
+// legacy behaviour. Sharded clusters post it to the sender's shard, where
+// it lands at the next synchronization barrier: the increment is
+// commutative bookkeeping whose timing only mid-window sampler reads can
+// observe, never simulated behaviour, and every post is drained before a
+// window's clocks align, so Results are unchanged.
+func (n *netDev) creditPeerTx(src *netDev, bytes int64) {
+	if bytes == 0 {
+		return
+	}
+	if post := n.h.shardPost; post != nil {
+		post(src.h, func() { src.c.txDeliveredBytes += bytes })
+		return
+	}
+	src.c.txDeliveredBytes += bytes
 }
 
 // peerAckDelivered handles an ACK whose Rx DMA into the sending host's

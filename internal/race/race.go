@@ -1,0 +1,5 @@
+// Package race reports whether the Go race detector is compiled in, so
+// tests can skip work that is meaningless under it (e.g. wall-clock
+// scaling measurements, which the detector slows by an order of
+// magnitude without adding any interleaving coverage of its own).
+package race

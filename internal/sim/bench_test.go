@@ -42,3 +42,78 @@ func BenchmarkEngineSchedule(b *testing.B) {
 	}
 	e.RunAll()
 }
+
+// BenchmarkScheduleCancel measures cancel-heavy workloads: half of every
+// scheduled batch is cancelled before it can fire, the pattern transport
+// retransmit timers and shard inboxes produce. Cancelled events ride the
+// queue as tombstones until popped, so this exercises the dead-event skip
+// path and pool recycling together.
+func BenchmarkScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	ids := make([]EventID, 0, 512)
+	for i := 0; i < b.N; i++ {
+		ids = append(ids, e.After(Duration(i%256), func() {}))
+		if len(ids) == 512 {
+			for j, id := range ids {
+				if j%2 == 0 {
+					e.Cancel(id)
+				}
+			}
+			e.Run(e.Now() + 256)
+			ids = ids[:0]
+		}
+	}
+	e.RunAll()
+}
+
+// BenchmarkEventPoolChurn stresses the free list under shard-inbox-style
+// churn: bursts of same-timestamp events (a barrier flush) of which a
+// fraction are cancelled, drained window by window. A pooling regression
+// shows up as allocs/op climbing toward 1.
+func BenchmarkEventPoolChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	const burst = 64
+	ids := make([]EventID, burst)
+	i := 0
+	for i < b.N {
+		at := e.Now() + 10
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			ids[j] = e.At(at, func() {})
+		}
+		for j := 0; j < n; j += 3 {
+			e.Cancel(ids[j])
+		}
+		e.Run(at)
+		i += n
+	}
+	e.RunAll()
+}
+
+// BenchmarkShardsPingPong measures the per-round overhead of the
+// conservative coordinator: two shards exchanging one tightly-timed
+// message per lookahead window, the worst case for barrier cost (no
+// local work to amortise it against).
+func BenchmarkShardsPingPong(b *testing.B) {
+	b.ReportAllocs()
+	const la = 10
+	s := NewShards(2, 1, la)
+	n := 0
+	var hop func(me int)
+	hop = func(me int) {
+		n++
+		if n >= b.N {
+			return
+		}
+		now := s.Engine(me).Now()
+		s.Post(me, 1-me, now, now+la, func() { hop(1 - me) })
+	}
+	s.Engine(0).At(0, func() { hop(0) })
+	b.ResetTimer()
+	s.Run(Time(b.N+1) * la)
+}

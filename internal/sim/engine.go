@@ -48,13 +48,22 @@ func (t Time) String() string {
 // Event is a scheduled callback. Fired and cancelled events are recycled
 // through the engine's free list; gen distinguishes the current tenancy of
 // the struct from EventIDs issued for earlier tenancies.
+//
+// sched records the virtual time the event was scheduled at, and events
+// sharing a timestamp fire in (sched, seq) order. For a single engine
+// that refinement is vacuous — scheduling calls happen in nondecreasing
+// virtual time, so seq order already is sched order — but it lets the
+// shard coordinator insert cross-shard messages stamped with their true
+// generation time at a barrier, reproducing the order a single shared
+// engine would have fired the same-timestamp events in.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
-	gen  uint64
+	at    Time
+	sched Time
+	seq   uint64
+	fn    func()
+	dead  bool
+	idx   int
+	gen   uint64
 }
 
 // EventID identifies a scheduled event so it can be cancelled. It pins the
@@ -72,6 +81,9 @@ func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if q[i].sched != q[j].sched {
+		return q[i].sched < q[j].sched
 	}
 	return q[i].seq < q[j].seq
 }
@@ -150,11 +162,28 @@ func (e *Engine) recycle(ev *event) {
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in the caller; the engine clamps it to "now" to keep time monotonic.
 func (e *Engine) At(t Time, fn func()) EventID {
+	return e.AtStamped(t, e.now, fn)
+}
+
+// AtStamped schedules fn at absolute time t carrying an explicit schedule
+// stamp: among events sharing a timestamp, earlier stamps fire first. At
+// uses the current time as the stamp; the shard coordinator passes a
+// cross-shard message's generation time instead, so barrier-delivered
+// events sort against locally-scheduled ones exactly as they would have
+// on one shared engine. Stamps are clamped into [0, t]; t is clamped to
+// now like At.
+func (e *Engine) AtStamped(t, stamp Time, fn func()) EventID {
 	if t < e.now {
 		t = e.now
 	}
+	if stamp > t {
+		stamp = t
+	}
+	if stamp < 0 {
+		stamp = 0
+	}
 	ev := e.alloc()
-	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	ev.at, ev.sched, ev.seq, ev.fn = t, stamp, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return EventID{ev, ev.gen}
@@ -194,6 +223,28 @@ func (e *Engine) Step() bool {
 		return true
 	}
 	return false
+}
+
+// PeekTime returns the timestamp of the earliest pending event and true,
+// or (0, false) when the queue is empty. Cancelled events still occupy
+// queue slots until popped, so the reported time may belong to an event
+// that will never fire; callers using it as a lower bound (the shard
+// coordinator) only ever get a conservative answer from that.
+func (e *Engine) PeekTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// RunBefore executes pending events with timestamps strictly below bound.
+// Unlike Run it does not advance the clock to the bound afterwards: the
+// shard coordinator calls it once per synchronization window and only
+// aligns clocks (via Run) when the whole simulation drains.
+func (e *Engine) RunBefore(bound Time) {
+	for len(e.queue) > 0 && e.queue[0].at < bound {
+		e.Step()
+	}
 }
 
 // Run executes events until the queue is empty or the clock passes deadline.

@@ -144,6 +144,37 @@ func (r *Registry) AddHistogram(name string, h *Histogram) {
 	r.hists[name] = h
 }
 
+// Adopt merges every instrument of src into r by reference: the merged
+// registry reads the same live Counter/Gauge/Histogram objects the source
+// layers mutate, so it always reports current values without copying.
+// A name already present in r panics — shard registries keep disjoint
+// namespaces (hostN.*, fabric.portN.*, fabric.core.*), and a collision
+// means the shard wiring double-registered an instrument.
+//
+// The merged view inherits the engine-confinement rules of every adopted
+// source: read it only at synchronization barriers (or after the run),
+// never while shard event loops are executing in parallel.
+func (r *Registry) Adopt(src *Registry) {
+	for n, c := range src.counters {
+		if r.kindOf(n) != "" {
+			panic(fmt.Sprintf("stats: Adopt collision on %q", n))
+		}
+		r.counters[n] = c
+	}
+	for n, g := range src.gauges {
+		if r.kindOf(n) != "" {
+			panic(fmt.Sprintf("stats: Adopt collision on %q", n))
+		}
+		r.gauges[n] = g
+	}
+	for n, h := range src.hists {
+		if r.kindOf(n) != "" {
+			panic(fmt.Sprintf("stats: Adopt collision on %q", n))
+		}
+		r.hists[n] = h
+	}
+}
+
 // LookupHistogram returns the named histogram, or nil when absent. Unlike
 // Histogram it never creates, so readers cannot typo a new empty series.
 func (r *Registry) LookupHistogram(name string) *Histogram {
