@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline \
-	faults bench-faults bench-cluster bench-clusterscale scale-gate cover \
+	faults bench-faults bench-cluster bench-clusterscale bench-rdma scale-gate cover \
 	golden-check lint ci
 
 all: build
@@ -51,6 +51,9 @@ bench-cluster:
 
 bench-clusterscale:
 	$(GO) run ./cmd/fsbench -fig clusterscale -quick -json > BENCH_clusterscale.json
+
+bench-rdma:
+	$(GO) run ./cmd/fsbench -fig rdma -quick -json > BENCH_rdma.json
 
 # The CI cluster-scale gate: asserts the sharded engine's >= 1.5x
 # wall-clock speedup at 4 shards / 64 hosts. Needs >= 4 idle cores; the

@@ -12,6 +12,7 @@
 //	fssim -hosts 8 -mode fns -traffic incast  # 8-host cluster, 7:1 incast
 //	fssim -hosts 4 -traffic alltoall -oversub 2   # oversubscribed core
 //	fssim -hosts 64 -shards 4 -traffic pairs  # conservative-parallel engine
+//	fssim -hosts 8 -traffic pairs -rdma write -atsentries 1024   # one-sided
 //
 // -shards N splits a cluster run across N engine shards executed with
 // conservative parallel DES (results stay deterministic and independent
@@ -25,6 +26,15 @@
 // -flowsperpair scales the flow count, -fabricgbps and -oversub shape
 // the fabric. Output is the aggregate line plus one indented line per
 // host; -audit prints each host's safety tally.
+//
+// -rdma picks the cluster peer-flow verb: the default sendrecv posts
+// receives on the remote CPU, while read and write are one-sided — the
+// initiator's NIC addresses a registered window on the peer directly and
+// the peer's cores never touch the data path. -atsentries N gives every
+// device an N-entry translation cache (PCIe ATS): translations hit the
+// device TLB, unmaps send ATC-invalidate messages, and the per-device
+// breakdown reports hit rate, invalidations and (for unsafe modes) stale
+// translations served.
 //
 // -faults enables deterministic fault injection and the translation
 // auditor: a bare number is a canonical-campaign intensity, otherwise a
@@ -62,6 +72,7 @@ import (
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
 	"fastsafe/internal/stats"
+	"fastsafe/internal/transport"
 )
 
 func main() {
@@ -94,9 +105,25 @@ func main() {
 	oversub := flag.Float64("oversub", 0, "fabric core oversubscription factor (0: non-blocking)")
 	flowsperpair := flag.Int("flowsperpair", 1, "cluster flows per (src,dst) host pair")
 	shards := flag.Int("shards", 1, "cluster engine shards for conservative-parallel execution (1: single engine)")
+	rdma := flag.String("rdma", "", "cluster peer-flow verb: sendrecv|read|write (default sendrecv; read/write are one-sided)")
+	atsentries := flag.String("atsentries", "", "device-TLB (ATS cache) entries per device; 0 or empty disables the device cache")
 	flag.Parse()
 
 	m, err := modespec.Host(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fssim:", err)
+		os.Exit(2)
+	}
+	op, err := modespec.RDMA(*rdma)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fssim:", err)
+		os.Exit(2)
+	}
+	if op.OneSided() && *hosts == 0 {
+		fmt.Fprintln(os.Stderr, "fssim: -rdma needs cluster mode (-hosts >= 2): one-sided verbs run between full hosts")
+		os.Exit(2)
+	}
+	ats, err := modespec.ATSEntries(*atsentries)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fssim:", err)
 		os.Exit(2)
@@ -159,6 +186,7 @@ func main() {
 			Faults:          plan,
 			FaultSeed:       *faultseed,
 			Audit:           *audit,
+			ATSEntries:      ats,
 			Telemetry: host.TelemetryConfig{
 				SampleEvery: sampleEvery,
 				TraceL3:     *trace,
@@ -168,7 +196,7 @@ func main() {
 	}
 
 	if *hosts > 0 {
-		runCluster(*hosts, *traffic, *flowsperpair, *fabricgbps, *oversub, *shards,
+		runCluster(*hosts, *traffic, *flowsperpair, *fabricgbps, *oversub, *shards, op,
 			hostCfg, *seed, *seeds, *parallel,
 			sim.Duration(*warmup)*sim.Millisecond, sim.Duration(*ms)*sim.Millisecond)
 		return
@@ -222,7 +250,7 @@ func main() {
 // runCluster simulates N full hosts on a switched fabric and prints the
 // aggregate plus per-host results (and per-host safety when auditing).
 func runCluster(hosts int, traffic string, flowsPerPair int, fabricGbps, oversub float64,
-	shards int, hostCfg func(int64) host.Config, seed int64, seeds, parallel int,
+	shards int, op transport.Op, hostCfg func(int64) host.Config, seed int64, seeds, parallel int,
 	warmup, measure sim.Duration) {
 	tp, err := host.ParseTraffic(traffic)
 	if err != nil {
@@ -235,6 +263,7 @@ func runCluster(hosts int, traffic string, flowsPerPair int, fabricGbps, oversub
 			Traffic:      tp,
 			FlowsPerPair: flowsPerPair,
 			Shards:       shards,
+			Op:           op,
 			Host:         hostCfg(s),
 			Fabric:       fabric.Config{PortGbps: fabricGbps, Oversub: oversub},
 		})

@@ -101,6 +101,15 @@ type Options struct {
 	// Faults; on its own it audits a fault-free run (zero overhead on
 	// simulated time — the auditor is an observer).
 	Audit bool
+
+	// ATSEntries sizes each device's ATS translation cache (the device
+	// TLB) in 4KB entries. 0, the default, attaches no device cache:
+	// every DMA translates at the IOMMU and results are byte-identical
+	// to builds without ATS. Positive values let devices cache
+	// translations locally — hits skip the IOMMU, misses pay an ATS
+	// request, faults fall back to PRI, and every unmap additionally
+	// shoots the device cache down through the invalidation queue.
+	ATSEntries int
 }
 
 // DeviceOptions describes one co-tenant DMA device.
@@ -149,6 +158,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("fastsafe: MeasureMS must be >= 0, got %d", o.MeasureMS)
 	case o.FaultSeed < 0:
 		return fmt.Errorf("fastsafe: FaultSeed must be >= 0, got %d", o.FaultSeed)
+	case o.ATSEntries < 0:
+		return fmt.Errorf("fastsafe: ATSEntries must be >= 0, got %d (0 disables the device TLB)", o.ATSEntries)
 	}
 	if o.Faults != "" {
 		if _, err := fault.Parse(o.Faults); err != nil {
@@ -233,12 +244,15 @@ type SafetyReport struct {
 	Blocked       int64 // DMAs the IOMMU rejected (no live mapping)
 	StaleUnmapped int64 // DMAs served from a stale cache after unmap
 	StaleRemapped int64 // DMAs served to the wrong page after IOVA reuse
+	StaleATS      int64 // DMAs served from a stale device-TLB (ATS) entry
 	Retries       int64 // benign driver retries caused by injected faults
 }
 
 // Violations is the count of stale-served DMAs — the number the paper's
 // safety claim requires to be zero for strict and F&S.
-func (s SafetyReport) Violations() int64 { return s.StaleUnmapped + s.StaleRemapped }
+func (s SafetyReport) Violations() int64 {
+	return s.StaleUnmapped + s.StaleRemapped + s.StaleATS
+}
 
 // LatencyReport summarises one latency distribution in microseconds.
 type LatencyReport struct {
@@ -256,6 +270,11 @@ type DeviceReport struct {
 	MissesPerPage float64 // shared-IOTLB misses per 4KB page of that payload
 	WalkReads     int64   // page-table memory reads its translations caused
 	Invalidations int64   // invalidation requests its domain submitted
+
+	// Device-TLB (ATS) accounting; all zero when Options.ATSEntries is 0.
+	ATSLookups       int64   // translations that consulted the device TLB
+	ATSHitRate       float64 // fraction of lookups served locally
+	ATCInvalidations int64   // device-TLB entries shot down by host unmaps
 }
 
 // latencyReport summarises a latency histogram; a nil or empty histogram
@@ -316,6 +335,7 @@ func hostConfig(o Options) (host.Config, error) {
 		Faults:      plan,
 		FaultSeed:   o.FaultSeed,
 		Audit:       o.Audit,
+		ATSEntries:  o.ATSEntries,
 		Telemetry: host.TelemetryConfig{
 			SampleEvery: sim.Duration(o.SampleUS) * sim.Microsecond,
 		},
@@ -381,6 +401,7 @@ func reportFrom(r host.Results) Report {
 			Blocked:       r.Safety.Blocked,
 			StaleUnmapped: r.Safety.StaleUnmapped,
 			StaleRemapped: r.Safety.StaleRemapped,
+			StaleATS:      r.Safety.StaleATS,
 			Retries:       r.Safety.Retries,
 		}
 	}
@@ -393,13 +414,16 @@ func reportFrom(r host.Results) Report {
 	}
 	for _, d := range r.Devices {
 		rep.Devices = append(rep.Devices, DeviceReport{
-			Name:          d.Name,
-			Kind:          d.Kind,
-			Mode:          Mode(d.Mode.String()),
-			GoodputGbps:   d.GoodputGbps,
-			MissesPerPage: d.MissesPerPage,
-			WalkReads:     d.WalkReads,
-			Invalidations: d.Invalidations,
+			Name:             d.Name,
+			Kind:             d.Kind,
+			Mode:             Mode(d.Mode.String()),
+			GoodputGbps:      d.GoodputGbps,
+			MissesPerPage:    d.MissesPerPage,
+			WalkReads:        d.WalkReads,
+			Invalidations:    d.Invalidations,
+			ATSLookups:       d.ATSLookups,
+			ATSHitRate:       d.ATSHitRate,
+			ATCInvalidations: d.ATCInvalidations,
 		})
 	}
 	return rep
@@ -421,6 +445,14 @@ type ClusterOptions struct {
 	// Oversub is the fabric core oversubscription factor: the shared
 	// core runs at hosts*FabricGbps/Oversub. 0 keeps it non-blocking.
 	Oversub float64
+	// RDMA selects the verb every peer flow uses: "" or "sendrecv"
+	// keeps the two-sided shape (remote CPU posts buffers and runs the
+	// stack per packet); "read" or "write" switches to one-sided RDMA —
+	// the initiator streams against a registered memory window that the
+	// remote NIC resolves itself, through its device-side ATS cache
+	// when Host.ATSEntries is set, with no remote core on the data
+	// path.
+	RDMA string
 	// Shards splits the simulation across that many conservative-
 	// parallel engine shards (hosts are assigned contiguously), letting
 	// large clusters use multiple OS cores. 0 or 1 runs everything on
@@ -454,6 +486,9 @@ func (o ClusterOptions) validate() error {
 			return fmt.Errorf("fastsafe: %w", err)
 		}
 	}
+	if _, err := modespec.RDMA(o.RDMA); err != nil {
+		return fmt.Errorf("fastsafe: %w", err)
+	}
 	return o.Host.validate()
 }
 
@@ -485,11 +520,16 @@ func SimulateCluster(o ClusterOptions) (ClusterReport, error) {
 	if err != nil {
 		return ClusterReport{}, err
 	}
+	op, err := modespec.RDMA(o.RDMA)
+	if err != nil {
+		return ClusterReport{}, fmt.Errorf("fastsafe: %w", err)
+	}
 	c, err := host.NewCluster(host.ClusterConfig{
 		Hosts:        o.Hosts,
 		Traffic:      host.TrafficPattern(o.Traffic),
 		FlowsPerPair: o.FlowsPerPair,
 		Shards:       o.Shards,
+		Op:           op,
 		Host:         cfg,
 		Fabric: fabric.Config{
 			PortGbps: o.FabricGbps,

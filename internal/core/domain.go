@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fastsafe/internal/ats"
 	"fastsafe/internal/fault"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/iova"
@@ -26,6 +27,11 @@ type CostModel struct {
 	UnmapPage     sim.Duration // clearing one 4KB page-table entry
 	InvRequest    sim.Duration // submitting one invalidation request and
 	// waiting for the IOMMU to complete it
+	// ATCInvRequest is the additional completion latency of the ATC-
+	// invalidate message class: the shootdown round-trips over PCIe to
+	// the device and back before the invalidation completes. Charged
+	// only when the domain has a device-side ATS cache attached.
+	ATCInvRequest sim.Duration
 }
 
 // DefaultCosts are calibrated so that, with the default per-packet stack
@@ -41,6 +47,7 @@ func DefaultCosts() CostModel {
 		MapPage:       60,
 		UnmapPage:     60,
 		InvRequest:    250,
+		ATCInvRequest: 450,
 	}
 }
 
@@ -86,6 +93,13 @@ type Config struct {
 	// code: all fault hooks sit behind nil checks and consume no
 	// randomness.
 	Faults *fault.Injector
+	// ATS, with Entries > 0, fronts the domain's translations with a
+	// device-side ATS translation cache (see internal/ats): DMAs
+	// translate through the device TLB, invalidations send an extra
+	// ATC-invalidate message (Costs.ATCInvRequest), and misses pay an
+	// ATS request with PRI fallback. Zero Entries — the default —
+	// routes straight to the IOMMU, byte-identical to the pre-seam code.
+	ATS ats.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +175,11 @@ type Domain struct {
 	alloc *iova.CachedAllocator
 	c     Counters
 
+	// trans is the translation seam: the direct IOMMU path, or an
+	// ats.Cache wrapping it when Config.ATS is enabled.
+	trans iommu.Translator
+	atc   *ats.Cache // non-nil iff ATS is enabled
+
 	physNext uint64 // bump allocator for distinct fake physical pages
 
 	txChunks []*txChunk   // per CPU
@@ -212,6 +231,11 @@ func NewDomain(cfg Config) *Domain {
 		physNext: 1<<30 + uint64(domID)<<40,
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+	d.trans = mmu.TranslatorOf(domID)
+	if cfg.ATS.Entries > 0 {
+		d.atc = ats.New(mmu, domID, d.trans, cfg.ATS)
+		d.trans = d.atc
+	}
 	if cfg.TraceL3 {
 		d.trace = stats.NewReuseTrace(cfg.TraceLimit)
 	}
@@ -235,10 +259,14 @@ func (d *Domain) IOMMU() *iommu.IOMMU { return d.mmu }
 // ID returns the domain's identifier within the IOMMU.
 func (d *Domain) ID() iommu.DomainID { return d.domID }
 
-// Translate performs one PCIe-transaction translation in this domain.
+// Translate performs one PCIe-transaction translation in this domain,
+// through the device's ATS cache when one is attached.
 func (d *Domain) Translate(v ptable.IOVA) iommu.Translation {
-	return d.mmu.TranslateIn(d.domID, v)
+	return d.trans.Translate(v)
 }
+
+// ATC returns the domain's device-side ATS cache (nil when disabled).
+func (d *Domain) ATC() *ats.Cache { return d.atc }
 
 // Counters returns driver-side counters.
 func (d *Domain) Counters() Counters { return d.c }
@@ -288,16 +316,27 @@ func (d *Domain) allocIOVA(cpu, pages int) (ptable.IOVA, sim.Duration, error) {
 // waits for completion stays safe and the injection surfaces only as
 // extra CPU time plus a benign retry in the audit report.
 func (d *Domain) invalidate(base ptable.IOVA, pages int, iotlbOnly bool) sim.Duration {
-	d.mmu.InvalidateIn(d.domID, base, pages, iotlbOnly)
-	cost := d.cfg.Costs.InvRequest
+	d.trans.Invalidate(base, pages, iotlbOnly)
+	cost := d.invRequestCost()
 	d.c.InvRequests++
 	if inj := d.cfg.Faults; inj != nil {
 		cost += inj.DelayInv(d.domID)
 		if inj.DropInv(d.domID) {
-			d.mmu.InvalidateIn(d.domID, base, pages, iotlbOnly)
-			cost += inj.Plan().InvTimeout + d.cfg.Costs.InvRequest
+			d.trans.Invalidate(base, pages, iotlbOnly)
+			cost += inj.Plan().InvTimeout + d.invRequestCost()
 			d.c.InvRequests++
 		}
+	}
+	return cost
+}
+
+// invRequestCost is the completion wait per invalidation-queue request:
+// the base request, plus the ATC-invalidate message round trip when the
+// domain's device caches translations.
+func (d *Domain) invRequestCost() sim.Duration {
+	cost := d.cfg.Costs.InvRequest
+	if d.atc != nil {
+		cost += d.cfg.Costs.ATCInvRequest
 	}
 	return cost
 }
@@ -305,14 +344,14 @@ func (d *Domain) invalidate(base ptable.IOVA, pages int, iotlbOnly bool) sim.Dur
 // flushInvalidate is invalidate's analogue for the deferred-mode global
 // flush (one flush-all invalidation-queue request).
 func (d *Domain) flushInvalidate() sim.Duration {
-	d.mmu.FlushAll()
-	cost := d.cfg.Costs.InvRequest
+	d.trans.InvalidateAll()
+	cost := d.invRequestCost()
 	d.c.InvRequests++
 	if inj := d.cfg.Faults; inj != nil {
 		cost += inj.DelayInv(d.domID)
 		if inj.DropInv(d.domID) {
-			d.mmu.FlushAll()
-			cost += inj.Plan().InvTimeout + d.cfg.Costs.InvRequest
+			d.trans.InvalidateAll()
+			cost += inj.Plan().InvTimeout + d.invRequestCost()
 			d.c.InvRequests++
 		}
 	}
@@ -534,6 +573,99 @@ func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
 	}
 
 	d.c.RxDescriptorsUnmapped++
+	d.c.CPUTime += cost
+	return cost, nil
+}
+
+// RemapRxDescriptor rotates the buffers behind a registered descriptor:
+// one-sided RDMA peers address a memory window by fixed offsets for the
+// life of the registration, so the IOVA layout is preserved while every
+// page is unmapped — paying the mode's invalidation policy, including
+// the ATC shoot-down when a device cache is attached — and remapped to
+// fresh physical pages. This is exactly where an unsafe mode shows:
+// DeferNoShootdown re-points the pages with no invalidation at all, so
+// the IOTLB and any device-side ATC keep serving the old physical
+// addresses for IOVAs that are still mapped — just not there.
+func (d *Domain) RemapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
+	var cost sim.Duration
+	switch d.cfg.Mode {
+	case Off, Persistent, FNSHuge:
+		// Off has no table to rotate. Persistent retains device access by
+		// design. FNSHuge revokes at 2MB granularity only — rotating one
+		// descriptor inside a shared huge chunk is impossible, so the
+		// window behaves persistently (the §5 trade-off at its extreme).
+		return 0, nil
+
+	case Strict, StrictPreserve, Deferred:
+		// Per-page unmap + eager per-page invalidation, then remap in
+		// place. Deferred degenerates to this too: a registered window's
+		// IOVAs are reused immediately, so their invalidation cannot sit
+		// in the deferred batch.
+		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
+		for _, v := range desc.IOVAs {
+			res, err := d.table.Unmap(v, ptable.PageSize)
+			if err != nil {
+				return cost, err
+			}
+			cost += d.cfg.Costs.UnmapPage
+			d.c.PagesUnmapped++
+			cost += d.invalidate(v, 1, iotlbOnly)
+			if iotlbOnly && len(res.Reclaimed) > 0 {
+				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
+				d.c.Reclaims += int64(len(res.Reclaimed))
+			}
+			if err := d.table.Map(v, d.newPhys()); err != nil {
+				return cost, err
+			}
+			cost += d.cfg.Costs.MapPage
+			d.c.PagesMapped++
+		}
+
+	case StrictContig, FNS:
+		// Ranged unmap, one batched invalidation, remap page by page.
+		pages := len(desc.IOVAs)
+		res, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize)
+		if err != nil {
+			return cost, err
+		}
+		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
+		d.c.PagesUnmapped += int64(pages)
+		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
+		cost += d.invalidate(desc.base, pages, iotlbOnly)
+		if iotlbOnly && len(res.Reclaimed) > 0 {
+			d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
+			d.c.Reclaims += int64(len(res.Reclaimed))
+		}
+		for _, v := range desc.IOVAs {
+			if err := d.table.Map(v, d.newPhys()); err != nil {
+				return cost, err
+			}
+			cost += d.cfg.Costs.MapPage
+			d.c.PagesMapped++
+		}
+
+	case DeferNoShootdown:
+		// The strawman: re-point the pages, never tell the caches.
+		pages := len(desc.IOVAs)
+		if _, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize); err != nil {
+			return cost, err
+		}
+		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
+		d.c.PagesUnmapped += int64(pages)
+		for _, v := range desc.IOVAs {
+			if err := d.table.Map(v, d.newPhys()); err != nil {
+				return cost, err
+			}
+			cost += d.cfg.Costs.MapPage
+			d.c.PagesMapped++
+		}
+
+	default:
+		return 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
+	}
+
+	d.c.RxDescriptorsUnmapped++
+	d.c.RxDescriptorsMapped++
 	d.c.CPUTime += cost
 	return cost, nil
 }

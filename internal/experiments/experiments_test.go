@@ -164,6 +164,53 @@ func TestClusterTrends(t *testing.T) {
 	}
 }
 
+// TestRdmaTrends locks the rdma figure's two claims: one-sided WRITE
+// through a warm device TLB beats CPU-paced send/recv at equal flow
+// count, and the safe modes audit zero stale DMAs at every device-TLB
+// capacity while the no-shootdown strawman serves stale ATC entries as
+// soon as the cache can hold its window.
+func TestRdmaTrends(t *testing.T) {
+	tab := Rdma(tiny())
+	type cell struct {
+		agg      float64
+		staleATS int64
+	}
+	grid := map[string]map[string]cell{} // mode -> "op@ats" -> cell
+	for _, row := range tab.Rows {
+		agg, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("agg_gbps %q: %v", row[3], err)
+		}
+		stale, err := strconv.ParseInt(row[7], 10, 64)
+		if err != nil {
+			t.Fatalf("stale_ats %q: %v", row[7], err)
+		}
+		if grid[row[0]] == nil {
+			grid[row[0]] = map[string]cell{}
+		}
+		grid[row[0]][row[1]+"@"+row[2]] = cell{agg, stale}
+		if safe := row[0] == "strict" || row[0] == "fns"; safe && (row[7] != "0" || row[8] != "0") {
+			t.Errorf("%s %s@%s: stale_ats=%s stale_total=%s, want 0/0", row[0], row[1], row[2], row[7], row[8])
+		}
+	}
+	for _, mode := range []string{"strict", "fns"} {
+		cells := grid[mode]
+		if len(cells) != 4 {
+			t.Fatalf("%s rows: %d, want 4", mode, len(cells))
+		}
+		if w, s := cells["write@1024"].agg, cells["sendrecv@0"].agg; w <= s {
+			t.Errorf("%s one-sided write@1024 %.1fGbps not above sendrecv %.1fGbps", mode, w, s)
+		}
+	}
+	var strawmanStale int64
+	for _, c := range grid["defer-noshootdown"] {
+		strawmanStale += c.staleATS
+	}
+	if strawmanStale == 0 {
+		t.Error("defer-noshootdown audited zero stale ATS hits; the strawman should serve stale translations")
+	}
+}
+
 // TestClusterScaleShape runs the clusterscale machinery on a reduced
 // grid: deterministic columns in Rows, wall-clock and speedup in Notes
 // (JSON only — the golden-locked rendering must exclude them).

@@ -26,11 +26,12 @@ func goldenOpts() Options {
 // goldenFigs cover the construction paths worth locking: the flow sweep
 // (fig2, fig7), the all-modes table (every protection datapath), the
 // storage co-tenant figure (shared-IOMMU multi-device path), the cluster
-// figure (N hosts on the shared engine and fabric), and the clusterscale
+// figure (N hosts on the shared engine and fabric), the clusterscale
 // figure (the sharded conservative-parallel engine at 64-256 hosts; its
 // rendered rows are deterministic — wall-clock lives in the JSON-only
-// Notes).
-var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale"}
+// Notes), and the rdma figure (one-sided peer flows through the
+// device-side ATS cache, including the strawman's audited stale hits).
+var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale", "rdma"}
 
 // TestGoldenFiguresByteIdentical regenerates each golden figure and
 // requires byte-for-byte identity with the committed file. Regenerate

@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 
+	"fastsafe/internal/ats"
 	"fastsafe/internal/iommu"
 	"fastsafe/internal/ptable"
 	"fastsafe/internal/stats"
@@ -18,12 +19,21 @@ type SafetyReport struct {
 	Blocked       int64 // translation faulted — hardware blocked the access
 	StaleUnmapped int64 // served from a cached entry for an unmapped IOVA
 	StaleRemapped int64 // served a stale physical page for a since-remapped IOVA
-	Retries       int64 // benign driver retries provoked by injected faults
+	// StaleATS counts DMAs served from a device-side ATS cache entry
+	// that outlived its host mapping — the entry was still valid in the
+	// device TLB after the host unmapped (or remapped) the IOVA because
+	// no ATC-invalidate was ordered before reuse. Strict and F&S close
+	// this window by shooting the ATC down inside the unmap; the
+	// defer-noshootdown strawman provably does not.
+	StaleATS int64
+	Retries  int64 // benign driver retries provoked by injected faults
 }
 
 // Violations counts true safety violations: DMAs the IOMMU let through
 // to memory the current page table does not map them to.
-func (r SafetyReport) Violations() int64 { return r.StaleUnmapped + r.StaleRemapped }
+func (r SafetyReport) Violations() int64 {
+	return r.StaleUnmapped + r.StaleRemapped + r.StaleATS
+}
 
 // Sub returns the window delta r−b (both taken from the same auditor).
 func (r SafetyReport) Sub(b SafetyReport) SafetyReport {
@@ -32,13 +42,14 @@ func (r SafetyReport) Sub(b SafetyReport) SafetyReport {
 		Blocked:       r.Blocked - b.Blocked,
 		StaleUnmapped: r.StaleUnmapped - b.StaleUnmapped,
 		StaleRemapped: r.StaleRemapped - b.StaleRemapped,
+		StaleATS:      r.StaleATS - b.StaleATS,
 		Retries:       r.Retries - b.Retries,
 	}
 }
 
 func (r SafetyReport) String() string {
-	return fmt.Sprintf("checked=%d blocked=%d stale_unmapped=%d stale_remapped=%d retries=%d violations=%d",
-		r.Checked, r.Blocked, r.StaleUnmapped, r.StaleRemapped, r.Retries, r.Violations())
+	return fmt.Sprintf("checked=%d blocked=%d stale_unmapped=%d stale_remapped=%d stale_ats=%d retries=%d violations=%d",
+		r.Checked, r.Blocked, r.StaleUnmapped, r.StaleRemapped, r.StaleATS, r.Retries, r.Violations())
 }
 
 // Auditor cross-checks every completed translation against the live IO
@@ -102,6 +113,32 @@ func (a *Auditor) check(d iommu.DomainID, v ptable.IOVA, t iommu.Translation) {
 	}
 }
 
+// AttachATC re-walks domain d's device-side ATS cache hits too: the
+// auditor installs a hook on the ATC that fires only on hits (misses
+// flow through the inner translator into the IOMMU's own audit hook, so
+// nothing is double-counted) and classifies served-while-stale hits as
+// StaleATS. Like the IOMMU-side check, the hook is a pure page-table
+// read. Nil-safe on both sides.
+func (a *Auditor) AttachATC(d iommu.DomainID, c *ats.Cache) {
+	if a == nil || c == nil {
+		return
+	}
+	c.SetAuditHook(func(v ptable.IOVA, t iommu.Translation) { a.checkATC(d, v, t) })
+}
+
+func (a *Auditor) checkATC(d iommu.DomainID, v ptable.IOVA, t iommu.Translation) {
+	g, pd := &a.global, a.domReport(d)
+	g.Checked++
+	pd.Checked++
+	// An ATC hit always produces an address; verify it against the live
+	// table. Unmapped or re-pointed both mean the device TLB served a
+	// translation the host had revoked.
+	if w, _, ok := a.mmu.TableOf(d).LookupHugeAware(v); !ok || w.Phys != t.Phys {
+		g.StaleATS++
+		pd.StaleATS++
+	}
+}
+
 // noteRetry attributes one benign driver retry to domain d.
 func (a *Auditor) noteRetry(d iommu.DomainID) {
 	if a == nil {
@@ -143,6 +180,7 @@ func (a *Auditor) RegisterProbes(r *stats.Registry, prefix string) {
 	probe("blocked", func(s SafetyReport) int64 { return s.Blocked })
 	probe("stale_unmapped", func(s SafetyReport) int64 { return s.StaleUnmapped })
 	probe("stale_remapped", func(s SafetyReport) int64 { return s.StaleRemapped })
+	probe("stale_ats", func(s SafetyReport) int64 { return s.StaleATS })
 	probe("retries", func(s SafetyReport) int64 { return s.Retries })
 	probe("violations", func(s SafetyReport) int64 { return s.Violations() })
 }

@@ -7,6 +7,7 @@ import (
 	"fastsafe/internal/fabric"
 	"fastsafe/internal/sim"
 	"fastsafe/internal/stats"
+	"fastsafe/internal/transport"
 )
 
 // Cluster builds N full hosts and routes their bulk flows through a
@@ -54,6 +55,12 @@ type ClusterConfig struct {
 	Hosts        int            // number of hosts (>= 2)
 	Traffic      TrafficPattern // flow pattern (default Incast)
 	FlowsPerPair int            // DCTCP flows per (src, dst) pair (default 1)
+
+	// Op selects the verb every flow uses: SendRecv (the zero value)
+	// runs the two-sided peer flows; Read/Write run one-sided RDMA flows
+	// through the remote NIC's registered memory window instead — the
+	// remote CPU leaves the per-packet path entirely (see rdma.go).
+	Op transport.Op
 
 	// Shards partitions the hosts across that many engine shards run
 	// under conservative parallel DES (sim.Shards), with lookahead equal
@@ -271,8 +278,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		for k := 0; k < cfg.FlowsPerPair; k++ {
 			srcCPU := src.cfg.Cores + src.cfg.TxFlows + out[p[0]]%src.cfg.PeerSlots
 			dstCPU := in[p[1]] % dst.cfg.Cores
-			src.ConnectPeer(dst, sw.Port(p[0]), sw.Port(p[1]),
-				flowID, srcCPU, dstCPU, sim.Time(flowID)*sim.Microsecond)
+			if cfg.Op.OneSided() {
+				src.ConnectRDMA(dst, sw.Port(p[0]), sw.Port(p[1]), cfg.Op,
+					flowID, srcCPU, dstCPU, sim.Time(flowID)*sim.Microsecond)
+			} else {
+				src.ConnectPeer(dst, sw.Port(p[0]), sw.Port(p[1]),
+					flowID, srcCPU, dstCPU, sim.Time(flowID)*sim.Microsecond)
+			}
 			out[p[0]]++
 			in[p[1]]++
 			flowID++

@@ -9,6 +9,7 @@ import (
 	"fastsafe/internal/core"
 	"fastsafe/internal/fault"
 	"fastsafe/internal/sim"
+	"fastsafe/internal/transport"
 )
 
 // clusterFaultSeeds is the cluster campaign's sweep width. It reuses the
@@ -45,17 +46,19 @@ func TestClusterFaultCampaign(t *testing.T) {
 		measure = 2 * sim.Millisecond
 	)
 	plan := fault.Campaign(0.3)
-	run := func(t *testing.T, seed int64, nShards int) (string, ClusterResults) {
+	run := func(t *testing.T, seed int64, nShards int, op transport.Op, ats int) (string, ClusterResults) {
 		c, err := NewCluster(ClusterConfig{
 			Hosts:   hosts,
 			Traffic: Incast,
 			Shards:  nShards,
+			Op:      op,
 			Host: Config{
-				Mode:      core.FNS,
-				Seed:      seed,
-				Faults:    plan,
-				FaultSeed: seed,
-				Audit:     true,
+				Mode:       core.FNS,
+				Seed:       seed,
+				Faults:     plan,
+				FaultSeed:  seed,
+				Audit:      true,
+				ATSEntries: ats,
 			},
 		})
 		if err != nil {
@@ -66,14 +69,22 @@ func TestClusterFaultCampaign(t *testing.T) {
 	}
 	for i := 0; i < clusterFaultSeeds(t); i++ {
 		seed := int64(i + 1)
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+		// Alternate the peer-flow verb by seed so the sweep covers the
+		// one-sided RDMA datapath (device ATC + faults) at the same cost:
+		// odd seeds run two-sided send/recv, even seeds one-sided WRITE
+		// through a 256-entry device TLB.
+		op, ats := transport.SendRecv, 0
+		if seed%2 == 0 {
+			op, ats = transport.Write, 256
+		}
+		t.Run(fmt.Sprintf("seed%d_%s", seed, op), func(t *testing.T) {
 			t.Parallel()
-			key1, r1 := run(t, seed, shards)
-			key2, _ := run(t, seed, shards)
+			key1, r1 := run(t, seed, shards, op, ats)
+			key2, _ := run(t, seed, shards, op, ats)
 			if key1 != key2 {
 				t.Fatalf("sharded faulted replay diverged for seed %d", seed)
 			}
-			_, unsharded := run(t, seed, 1)
+			_, unsharded := run(t, seed, 1, op, ats)
 			for _, r := range []ClusterResults{r1, unsharded} {
 				if v := r.Violations(); v != 0 {
 					t.Fatalf("fns cluster served %d stale DMAs (seed %d)", v, seed)

@@ -10,6 +10,7 @@ import (
 	"fastsafe/internal/fabric"
 	"fastsafe/internal/runner"
 	"fastsafe/internal/sim"
+	"fastsafe/internal/transport"
 )
 
 func TestClusterValidation(t *testing.T) {
@@ -130,22 +131,32 @@ func TestClusterRegistrySumsPerHost(t *testing.T) {
 		"l3_misses", "l2_misses", "l1_misses", "faults",
 		"stale_iotlb_uses", "stale_pt_uses", "inv_requests",
 		"iotlb_invalidated", "pt_invalidated",
+		"ats_requests", "atc_inv_requests", "atc_invalidated",
 	}
 	type job struct {
-		mode  core.Mode
-		hosts int
+		mode   core.Mode
+		hosts  int
+		shards int
+		op     transport.Op
+		ats    int
 	}
 	var jobs []runner.Job[string]
 	for _, j := range []job{
-		{core.Strict, 2}, {core.Strict, 4},
-		{core.FNS, 4}, {core.Deferred, 3},
+		{mode: core.Strict, hosts: 2}, {mode: core.Strict, hosts: 4},
+		{mode: core.FNS, hosts: 4}, {mode: core.Deferred, hosts: 3},
+		// One-sided flows with a device TLB on a sharded engine: the ATS
+		// counters must attribute across shard boundaries exactly like
+		// the walk counters do on the shared engine.
+		{mode: core.FNS, hosts: 8, shards: 4, op: transport.Write, ats: 256},
 	} {
 		j := j
 		jobs = append(jobs, func(context.Context) (string, error) {
 			cfg := ClusterConfig{
 				Hosts:   j.hosts,
 				Traffic: AllToAll,
-				Host:    Config{Mode: j.mode, Audit: true},
+				Shards:  j.shards,
+				Op:      j.op,
+				Host:    Config{Mode: j.mode, Audit: true, ATSEntries: j.ats},
 			}
 			// A storage co-tenant per host so every host has more than one
 			// domain contributing to its totals.

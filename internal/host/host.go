@@ -45,6 +45,16 @@ type Config struct {
 	RingPackets     int // Rx ring strides per core (default 256)
 	DescriptorPages int // pages per descriptor (64 on CX-5)
 
+	// ATSEntries sizes the device-side ATS translation cache (ATC) on
+	// every NIC datapath domain. 0 — the default — attaches no ATC: the
+	// device sends every translation to the IOMMU, byte-identical to the
+	// pre-ATS simulator. When positive, NIC DMAs first consult the
+	// device-local cache; misses become ATS translation requests, faults
+	// fall back to PRI, and host-side unmaps shoot the ATC down through
+	// the invalidation queue (at CostModel.ATCInvRequest extra per
+	// request).
+	ATSEntries int
+
 	LinkGbps  float64      // NIC line rate (default 100)
 	PCIeGbps  float64      // PCIe serialisation cap (default 128)
 	L0        sim.Duration // fitted DMA base latency (default 65ns)
@@ -148,6 +158,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DescriptorPages <= 0 {
 		c.DescriptorPages = 64
+	}
+	if c.ATSEntries < 0 {
+		c.ATSEntries = 0
 	}
 	if c.LinkGbps == 0 {
 		c.LinkGbps = 100

@@ -3,6 +3,7 @@ package host
 import (
 	"fmt"
 
+	"fastsafe/internal/ats"
 	"fastsafe/internal/core"
 	"fastsafe/internal/device"
 	"fastsafe/internal/nic"
@@ -138,6 +139,11 @@ type netDev struct {
 	peerTx []*peerFlow
 	peerRx []*peerFlow
 
+	// One-sided RDMA flows (see rdma.go): rdmaTx holds flows whose data
+	// source is this host, rdmaRx flows whose sink window is.
+	rdmaTx []*rdmaFlow
+	rdmaRx []*rdmaFlow
+
 	lastDeferredFlush sim.Time
 
 	c hostCounters
@@ -192,7 +198,11 @@ func (n *netDev) Attach(dh device.Host) error {
 		DefaultDomain: n.primary,
 		TraceL3:       cfg.Telemetry.TraceL3 && n.primary,
 		TraceLimit:    cfg.Telemetry.TraceLimit,
+		ATS:           ats.Config{Entries: cfg.ATSEntries},
 	}, n.seedOff)
+	// The auditor re-walks device-cached translations too (nil-safe on
+	// both sides: no auditor, or no ATC attached).
+	h.aud.AttachATC(n.dom.ID(), n.dom.ATC())
 	n.rx = h.NewLink()
 	n.tx = h.NewLink()
 	n.toLocal = NewWire(h.eng, n.spec.LinkGbps, cfg.PropDelay)
@@ -206,7 +216,10 @@ func (n *netDev) Attach(dh device.Host) error {
 		RingPackets: n.spec.RingPackets,
 		BufferBytes: cfg.NICBufferBytes,
 		ECNKBytes:   -1, // ECN marks come from the switch, not the NIC
-		Faults:      h.Faults().Device(n.dom),
+		// One-sided DMA terminates at the device, so its buffer is the
+		// congestion point — mark there (the CNP analog) at the DCTCP K.
+		DirectECNKBytes: cfg.ECNKBytes,
+		Faults:          h.Faults().Device(n.dom),
 	}, n.dom, n.rx, n.tx, netExec{n})
 	if err != nil {
 		return fmt.Errorf("host: %w", err)
@@ -258,6 +271,20 @@ func (n *netDev) Start() {
 		f := f
 		n.h.eng.At(f.start, func() { n.pumpPeerFlow(f) })
 	}
+	// WRITE streams from the source at start; READ first posts the work
+	// request from the initiating sink, which kicks the source remotely.
+	for _, f := range n.rdmaTx {
+		f := f
+		if f.op != transport.Read {
+			n.h.eng.At(f.start, func() { n.pumpRdmaFlow(f) })
+		}
+	}
+	for _, f := range n.rdmaRx {
+		f := f
+		if f.op == transport.Read {
+			n.h.eng.At(f.start, func() { n.postRdmaRead(f) })
+		}
+	}
 }
 
 // mtuPages returns pages per MTU stride of this NIC.
@@ -301,6 +328,16 @@ func (n *netDev) flowHousekeeping(now sim.Time) {
 	for _, f := range n.peerRx {
 		if ack := f.rcv.FlushAck(); ack != nil {
 			n.sendPeerAck(f, *ack)
+		}
+	}
+	for _, f := range n.rdmaTx {
+		if f.snd.MaybeTimeout(now) {
+			n.pumpRdmaFlow(f)
+		}
+	}
+	for _, f := range n.rdmaRx {
+		if ack := f.rcv.FlushAck(); ack != nil {
+			n.sendRdmaAck(f, *ack)
 		}
 	}
 }
@@ -417,7 +454,11 @@ func (n *netDev) onDeliver(pkt nic.Packet) {
 	if !h.cfg.DDIO {
 		h.bus.Consume(pkt.Bytes)
 	}
-	h.bus.Consume(2 * pkt.Bytes)
+	// One-sided writes land in application memory with no stack or
+	// application copy; everything else pays the copy in and out.
+	if _, oneSided := pkt.Payload.(rdmaData); !oneSided {
+		h.bus.Consume(2 * pkt.Bytes)
+	}
 	switch p := pkt.Payload.(type) {
 	case dataSeg:
 		f := n.rxFlows[p.flow]
@@ -451,6 +492,9 @@ func (n *netDev) onDeliver(pkt nic.Packet) {
 
 	case peerAck:
 		n.peerAckDelivered(p)
+
+	case rdmaData:
+		n.rdmaDataDelivered(pkt, p)
 
 	case msgSeg:
 		h.msgs.onDeliver(pkt, p)
@@ -501,6 +545,9 @@ func (n *netDev) onTxDone(pkt nic.Packet, m *core.TxMapping) {
 
 	case peerAck:
 		n.peerAckTxDone(pkt, p)
+
+	case rdmaData:
+		n.rdmaTxDone(pkt, p)
 
 	case msgSeg:
 		h.msgs.onTxDone(pkt, p)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fastsafe/internal/ats"
 	"fastsafe/internal/core"
 	"fastsafe/internal/device"
 	"fastsafe/internal/fault"
@@ -103,6 +104,14 @@ type DeviceResults struct {
 	WalkReads     int64   // page-table memory reads its translations caused
 	Invalidations int64   // invalidation requests its domain submitted
 
+	// Device-side ATS cache activity over the window; all zero when the
+	// device has no ATC attached.
+	ATSLookups       int64
+	ATSHitRate       float64 // ATC hits / lookups
+	ATSRequests      int64   // translation requests the misses sent to the IOMMU
+	ATCInvalidations int64   // ATC shoot-down requests the host issued
+	StaleATSHits     int64   // hits served while the host mapping was gone
+
 	// Safety is the device domain's translation audit for the window;
 	// nil unless the auditor ran.
 	Safety *fault.SafetyReport
@@ -148,6 +157,7 @@ func (r Results) DeviceTable() string {
 type devSnap struct {
 	mmu iommu.Counters // the device domain's share of the shared IOMMU
 	st  device.Stats
+	ats ats.Counters // device-side ATS cache (zero without an ATC)
 }
 
 // snapshot captures every counter the measurement window diffs.
@@ -181,10 +191,14 @@ func (h *Host) snap() snapshot {
 		hostC: h.net.c,
 	}
 	for _, d := range h.devices {
-		s.devs = append(s.devs, devSnap{
+		ds := devSnap{
 			mmu: h.mmu.CountersOf(d.Domain().ID()),
 			st:  d.Stats(),
-		})
+		}
+		if atc := d.Domain().ATC(); atc != nil {
+			ds.ats = atc.Counters()
+		}
+		s.devs = append(s.devs, ds)
 	}
 	if h.aud != nil {
 		s.aud = h.aud.Report()
@@ -208,6 +222,10 @@ func (h *Host) snap() snapshot {
 		s.sndTo += f.snd.Stats().Timeouts
 	}
 	for _, f := range h.net.peerTx {
+		s.sndRtx += f.snd.Stats().Retransmits
+		s.sndTo += f.snd.Stats().Timeouts
+	}
+	for _, f := range h.net.rdmaTx {
 		s.sndRtx += f.snd.Stats().Retransmits
 		s.sndTo += f.snd.Stats().Timeouts
 	}
@@ -334,6 +352,14 @@ func (h *Host) results(before, after snapshot) Results {
 			MissesPerPage: stats.PerPage(a.mmu.IOTLBMisses-b.mmu.IOTLBMisses, bytes),
 			WalkReads:     a.mmu.MemReads - b.mmu.MemReads,
 			Invalidations: a.mmu.InvRequests - b.mmu.InvRequests,
+
+			ATSLookups:       a.ats.Lookups - b.ats.Lookups,
+			ATSRequests:      a.mmu.ATSRequests - b.mmu.ATSRequests,
+			ATCInvalidations: a.mmu.ATCInvRequests - b.mmu.ATCInvRequests,
+			StaleATSHits:     a.ats.StaleHits - b.ats.StaleHits,
+		}
+		if dr.ATSLookups > 0 {
+			dr.ATSHitRate = float64(a.ats.Hits-b.ats.Hits) / float64(dr.ATSLookups)
 		}
 		if h.aud != nil {
 			var bs fault.SafetyReport

@@ -50,6 +50,7 @@ type TelemetryConfig struct {
 //	<dev>.ptable.*      the device domain's IO page-table size
 //	<dev>.pcie.rx.*     the NIC's Rx PCIe link (incl. latency_ns histogram)
 //	<dev>.pcie.tx.*     likewise for Tx
+//	<dev>.ats.*         the NIC's device-side ATS cache (only with an ATC)
 //	<dev>.flow<i>.*     per-flow congestion state (NICs only)
 //	rpc.*               request/response workload (latency_ns histogram)
 //	fault.*             injected-fault tallies (only with a fault plan)
@@ -106,6 +107,9 @@ func (t *Telemetry) addDevice(d device.Device) {
 	n.dev.RegisterProbes(t.reg, name+".")
 	n.rx.RegisterProbes(t.reg, name+".pcie.rx.")
 	n.tx.RegisterProbes(t.reg, name+".pcie.tx.")
+	if atc := n.dom.ATC(); atc != nil {
+		atc.RegisterProbes(t.reg, name+".ats.")
+	}
 	for _, f := range n.rxFlows {
 		f.snd.RegisterProbes(t.reg, fmt.Sprintf("%s.flow%d.", name, f.id))
 	}

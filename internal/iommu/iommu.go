@@ -65,6 +65,16 @@ type Counters struct {
 	InvRequests      int64 // invalidation-queue requests submitted
 	IOTLBInvalidated int64 // IOTLB entries actually removed
 	PTInvalidated    int64 // PTcache entries actually removed
+
+	// PCIe ATS accounting. ATSRequests counts translation requests the
+	// device's ATC sent to the IOMMU's translation agent (one per ATC
+	// miss). ATCInvRequests counts ATC-invalidate messages on the
+	// invalidation queue (a distinct message class from IOTLB/PTcache
+	// invalidations); ATCInvalidated counts the device-TLB entries they
+	// removed. All three stay zero when no device has an ATC.
+	ATSRequests    int64
+	ATCInvRequests int64
+	ATCInvalidated int64
 }
 
 // Translation is the outcome of translating one PCIe transaction's IOVA.
@@ -74,6 +84,7 @@ type Translation struct {
 	IOTLBHit bool
 	MemReads int  // page-table reads performed (0 on IOTLB hit)
 	Stale    bool // served by a stale IOTLB entry (safety violation)
+	ATC      bool // served by a device-side ATS translation cache
 }
 
 // DomainID names one protection domain: one device's IOVA space and IO
@@ -213,6 +224,28 @@ func (m *IOMMU) chargeDomain(d DomainID, before Counters) {
 	dc.InvRequests += after.InvRequests - before.InvRequests
 	dc.IOTLBInvalidated += after.IOTLBInvalidated - before.IOTLBInvalidated
 	dc.PTInvalidated += after.PTInvalidated - before.PTInvalidated
+	dc.ATSRequests += after.ATSRequests - before.ATSRequests
+	dc.ATCInvRequests += after.ATCInvRequests - before.ATCInvRequests
+	dc.ATCInvalidated += after.ATCInvalidated - before.ATCInvalidated
+}
+
+// ChargeATSRequest accounts one ATS translation request from domain d's
+// device (the ATC-miss round trip to the translation agent). The request
+// itself is charged here; the walk it triggers is charged by TranslateIn
+// as usual.
+func (m *IOMMU) ChargeATSRequest(d DomainID) {
+	m.c.ATSRequests++
+	m.domCounters(d).ATSRequests++
+}
+
+// ChargeATCInvalidation accounts one ATC-invalidate message sent to
+// domain d's device, which removed `dropped` device-TLB entries.
+func (m *IOMMU) ChargeATCInvalidation(d DomainID, dropped int64) {
+	m.c.ATCInvRequests++
+	m.c.ATCInvalidated += dropped
+	dc := m.domCounters(d)
+	dc.ATCInvRequests++
+	dc.ATCInvalidated += dropped
 }
 
 // iotlbVal packs a physical page frame into the cache value. The low bit

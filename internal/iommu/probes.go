@@ -25,6 +25,9 @@ func registerCounterProbes(r *stats.Registry, prefix string, src func() Counters
 	probe("inv_requests", func(c Counters) int64 { return c.InvRequests })
 	probe("iotlb_invalidated", func(c Counters) int64 { return c.IOTLBInvalidated })
 	probe("pt_invalidated", func(c Counters) int64 { return c.PTInvalidated })
+	probe("ats_requests", func(c Counters) int64 { return c.ATSRequests })
+	probe("atc_inv_requests", func(c Counters) int64 { return c.ATCInvRequests })
+	probe("atc_invalidated", func(c Counters) int64 { return c.ATCInvalidated })
 }
 
 // RegisterProbes exposes the shared IOMMU's hardware counters and cache

@@ -1,0 +1,40 @@
+package iommu
+
+import "fastsafe/internal/ptable"
+
+// Translator is the seam between a protection domain's driver operations
+// and whatever performs (and caches) its DMA translations. The IOMMU's
+// own pipeline is the base implementation; a device-side ATS translation
+// cache wraps it, caching completed translations in the device and
+// intercepting invalidations so the host can shoot down the device TLB.
+// A domain built without ATS routes through the direct implementation,
+// which forwards verbatim to the IOMMU — same calls, same counters, same
+// event stream.
+type Translator interface {
+	// Translate resolves one PCIe transaction's IOVA.
+	Translate(v ptable.IOVA) Translation
+	// Invalidate services one invalidation-queue request covering
+	// [base, base+pages*4KB); iotlbOnly preserves the PTcaches (F&S
+	// idea A).
+	Invalidate(base ptable.IOVA, pages int, iotlbOnly bool)
+	// InvalidateAll is the global flush used at teardown.
+	InvalidateAll()
+}
+
+// direct is the ATS-less Translator: the domain talks straight to the
+// shared IOMMU, exactly as before the seam existed.
+type direct struct {
+	m *IOMMU
+	d DomainID
+}
+
+func (t direct) Translate(v ptable.IOVA) Translation { return t.m.TranslateIn(t.d, v) }
+
+func (t direct) Invalidate(base ptable.IOVA, pages int, iotlbOnly bool) {
+	t.m.InvalidateIn(t.d, base, pages, iotlbOnly)
+}
+
+func (t direct) InvalidateAll() { t.m.FlushAll() }
+
+// TranslatorOf returns domain d's direct (IOMMU-only) Translator.
+func (m *IOMMU) TranslatorOf(d DomainID) Translator { return direct{m: m, d: d} }

@@ -9,9 +9,11 @@ package modespec
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/transport"
 )
 
 // Valid returns the accepted mode names: the presentation modes in
@@ -68,4 +70,43 @@ func Device(s string) (*core.Mode, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// ValidOps returns the accepted peer-flow verb names, two-sided first.
+func ValidOps() []string {
+	return []string{transport.SendRecv.String(), transport.Read.String(), transport.Write.String()}
+}
+
+// RDMA parses a peer-flow verb spec: "" keeps the two-sided default
+// (send/recv), "read"/"write" select the one-sided shapes that bypass
+// the remote CPU. The error names the offending input and lists every
+// accepted verb.
+func RDMA(s string) (transport.Op, error) {
+	if s == "" {
+		return transport.SendRecv, nil
+	}
+	op, err := transport.ParseOp(s)
+	if err != nil {
+		return 0, fmt.Errorf("modespec: unknown rdma op %q (valid: %s)",
+			s, strings.Join(ValidOps(), ", "))
+	}
+	return op, nil
+}
+
+// ATSEntries parses a device-TLB capacity spec: "" and "0" leave the
+// device cache disabled (translations resolve at the IOMMU and results
+// stay byte-identical to builds without ATS); a positive integer sizes
+// each device's ATS translation cache in 4KB entries.
+func ATSEntries(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("modespec: ats entries %q is not an integer (0 disables the device TLB; a positive count sizes it)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("modespec: ats entries must be >= 0, got %d (0 disables the device TLB)", n)
+	}
+	return n, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fastsafe/internal/core"
+	"fastsafe/internal/transport"
 )
 
 func TestHostParsesEveryValidMode(t *testing.T) {
@@ -66,6 +67,71 @@ func TestDeviceRejectionMessage(t *testing.T) {
 	}
 	if want := `unknown device protection mode "turbo"`; !strings.Contains(err.Error(), want) {
 		t.Fatalf("error %q missing %q", err, want)
+	}
+}
+
+func TestRDMAParsesEveryOp(t *testing.T) {
+	op, err := RDMA("")
+	if err != nil || op != transport.SendRecv {
+		t.Fatalf("RDMA(\"\") = %v, %v; want sendrecv", op, err)
+	}
+	for _, name := range ValidOps() {
+		op, err := RDMA(name)
+		if err != nil {
+			t.Fatalf("RDMA(%q): %v", name, err)
+		}
+		if op.String() != name {
+			t.Fatalf("RDMA(%q) = %v", name, op)
+		}
+	}
+}
+
+func TestRDMARejectionMessage(t *testing.T) {
+	_, err := RDMA("fetch")
+	if err == nil {
+		t.Fatal("RDMA(\"fetch\") accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`unknown rdma op "fetch"`,
+		"valid:",
+		"sendrecv",
+		"read",
+		"write",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestATSEntriesParses(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{"", 0}, {"0", 0}, {"64", 64}, {"4096", 4096}} {
+		n, err := ATSEntries(tc.in)
+		if err != nil || n != tc.want {
+			t.Fatalf("ATSEntries(%q) = %d, %v; want %d", tc.in, n, err, tc.want)
+		}
+	}
+}
+
+func TestATSEntriesRejectionMessages(t *testing.T) {
+	_, err := ATSEntries("lots")
+	if err == nil {
+		t.Fatal("ATSEntries(\"lots\") accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, `ats entries "lots" is not an integer`) ||
+		!strings.Contains(msg, "0 disables the device TLB") {
+		t.Fatalf("non-integer error %q lacks the knob explanation", msg)
+	}
+	_, err = ATSEntries("-8")
+	if err == nil {
+		t.Fatal("ATSEntries(\"-8\") accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "must be >= 0, got -8") {
+		t.Fatalf("negative error %q lacks the bound", msg)
 	}
 }
 

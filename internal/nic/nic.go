@@ -48,6 +48,11 @@ type Config struct {
 	// this negative and relies on switch marking; PCIe backpressure is
 	// invisible to DCTCP and surfaces as tail drops (the host-congestion
 	// observation of [1, 2]).
+	DirectECNKBytes int // mark threshold for one-sided DMA (DirectRx);
+	// 0 falls back to ECNKBytes, <0 disables. One-sided traffic
+	// terminates at the NIC, so the device buffer IS the congestion
+	// point: RDMA NICs surface it as congestion notification (CNP /
+	// PFC-fed switch marks), which this threshold stands in for.
 	MPS         int // PCIe max payload size per transaction (default 512)
 	HeaderBytes int // per-frame link+transport header overhead (default 66)
 	StrideAlign int // frame placement alignment within a descriptor (default 256)
@@ -147,6 +152,10 @@ type NIC struct {
 type txEntry struct {
 	pkt Packet
 	m   *core.TxMapping
+	// iovas, for one-sided reads, names the registered memory window the
+	// NIC streams from directly — no per-packet MapTx/UnmapTx (m is nil).
+	iovas []ptable.IOVA
+	start int // byte offset of the frame within iovas
 }
 
 // New wires a NIC to its PCIe links, protection domain and CPU executor.
@@ -198,6 +207,11 @@ func (n *NIC) align(b int) int {
 	return (b + a - 1) / a * a
 }
 
+// FrameStride returns the aligned byte stride one frame of the given
+// payload occupies in a registered memory window — the same packing the
+// Rx rings use, so window capacity math matches ring capacity math.
+func (n *NIC) FrameStride(payload int) int { return n.align(payload + n.cfg.HeaderBytes) }
+
 // Arrive delivers a wire packet into the NIC input buffer (§2.1 step 2).
 // It applies ECN marking above the K threshold and tail-drops when the
 // buffer is full.
@@ -220,6 +234,69 @@ func (n *NIC) Arrive(pkt Packet) {
 	r := n.rings[pkt.CPU%len(n.rings)]
 	r.queue = append(r.queue, pkt)
 	n.pumpRx()
+}
+
+// DirectRx ingests a one-sided packet (an RDMA WRITE arriving from the
+// fabric, or READ response data): input-buffer accounting and ECN as in
+// Arrive, but the frame lands in a registered memory window (page-sized
+// IOVAs, starting at byte offset start) that the NIC resolves itself —
+// through its ATS cache when one is attached — with no ring descriptor
+// consumed and no receive CPU involved.
+func (n *NIC) DirectRx(pkt Packet, iovas []ptable.IOVA, start int) {
+	n.stats.Arrived++
+	n.stats.ArrivedBytes += int64(pkt.Bytes)
+	if n.bufferBytes+pkt.Bytes > n.cfg.BufferBytes {
+		n.stats.Dropped++
+		n.stats.DroppedBytes += int64(pkt.Bytes)
+		if n.OnDrop != nil {
+			n.OnDrop(pkt)
+		}
+		return
+	}
+	if k := n.directECNK(); k > 0 && n.bufferBytes > k {
+		pkt.ECN = true
+		n.stats.Marked++
+	}
+	n.bufferBytes += pkt.Bytes
+	reads := 0
+	if n.dom.Mode().Translated() {
+		n.cfg.Faults.Observe(iovas[start/ptable.PageSize] + ptable.IOVA(start%ptable.PageSize))
+		reads = n.translateWindow(iovas, start, n.frameBytes(pkt))
+		reads += n.cfg.Faults.MaybeMisbehave()
+	}
+	n.stats.RxDMAs++
+	n.stats.RxBytes += int64(pkt.Bytes)
+	n.rx.Submit(pkt.Bytes, reads, func() {
+		n.bufferBytes -= pkt.Bytes
+		if n.OnDeliver != nil {
+			n.OnDeliver(pkt)
+		}
+		n.pumpRx()
+	})
+}
+
+func (n *NIC) directECNK() int {
+	if n.cfg.DirectECNKBytes != 0 {
+		return n.cfg.DirectECNKBytes
+	}
+	return n.cfg.ECNKBytes
+}
+
+// translateWindow translates one frame's PCIe transactions against a
+// window of page-sized IOVAs, returning the page-table reads performed.
+func (n *NIC) translateWindow(iovas []ptable.IOVA, start, bytes int) int {
+	reads := 0
+	for off := 0; off < bytes; off += n.cfg.MPS {
+		b := start + off
+		page := b / ptable.PageSize
+		if page >= len(iovas) {
+			page = len(iovas) - 1
+		}
+		v := iovas[page] + ptable.IOVA(b%ptable.PageSize)
+		tr := n.dom.Translate(v)
+		reads += tr.MemReads
+	}
+	return reads
 }
 
 // pumpRx starts the next Rx DMA if the PCIe link is free and some ring has
@@ -401,7 +478,16 @@ func (n *NIC) maybeRecycle(r *ring, desc *core.Descriptor) {
 // SendTx enqueues a Tx DMA: the NIC reads the packet out of host memory
 // through m's IOVAs. The host must have charged MapTx CPU cost already.
 func (n *NIC) SendTx(pkt Packet, m *core.TxMapping) {
-	n.txQueue = append(n.txQueue, txEntry{pkt, m})
+	n.txQueue = append(n.txQueue, txEntry{pkt: pkt, m: m})
+	n.pumpTx()
+}
+
+// SendTxDirect enqueues a one-sided Tx DMA: the NIC streams the frame
+// out of a registered memory window (page-sized IOVAs, frame starting at
+// byte offset start) through its own translation path — no per-packet
+// MapTx, and OnTxDone fires with a nil mapping so nothing is unmapped.
+func (n *NIC) SendTxDirect(pkt Packet, iovas []ptable.IOVA, start int) {
+	n.txQueue = append(n.txQueue, txEntry{pkt: pkt, iovas: iovas, start: start})
 	n.pumpTx()
 }
 
@@ -427,6 +513,10 @@ func (n *NIC) pumpTx() {
 				tr := n.dom.Translate(v)
 				reads += tr.MemReads
 			}
+			reads += n.cfg.Faults.MaybeMisbehave()
+		} else if n.dom.Mode().Translated() && len(e.iovas) > 0 {
+			n.cfg.Faults.Observe(e.iovas[e.start/ptable.PageSize])
+			reads = n.translateWindow(e.iovas, e.start, e.pkt.Bytes+n.cfg.HeaderBytes)
 			reads += n.cfg.Faults.MaybeMisbehave()
 		}
 		n.stats.TxDMAs++

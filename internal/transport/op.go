@@ -1,0 +1,42 @@
+package transport
+
+import "fmt"
+
+// Op selects the verb a peer flow uses. SendRecv (the zero value) is the
+// two-sided shape: the remote CPU posts receive buffers and runs the
+// stack per packet. Read and Write are one-sided RDMA verbs: the remote
+// NIC resolves the target memory itself — through its device-side ATS
+// cache when one is attached — and no remote core touches the data path.
+type Op int
+
+const (
+	SendRecv Op = iota
+	Read
+	Write
+)
+
+var opNames = map[Op]string{
+	SendRecv: "sendrecv",
+	Read:     "read",
+	Write:    "write",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ParseOp maps a name (as printed by String) back to an Op.
+func ParseOp(s string) (Op, error) {
+	for o, name := range opNames {
+		if s == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("transport: unknown op %q", s)
+}
+
+// OneSided reports whether the verb bypasses the remote CPU.
+func (o Op) OneSided() bool { return o != SendRecv }
