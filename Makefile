@@ -4,8 +4,8 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline \
-	faults bench-faults bench-cluster bench-clusterscale bench-rdma scale-gate cover \
-	golden-check lint ci
+	faults bench-faults bench-cluster bench-clusterscale bench-rdma \
+	bench-capability scale-gate cover golden-check lint ci
 
 all: build
 
@@ -55,6 +55,9 @@ bench-clusterscale:
 bench-rdma:
 	$(GO) run ./cmd/fsbench -fig rdma -quick -json > BENCH_rdma.json
 
+bench-capability:
+	$(GO) run ./cmd/fsbench -fig capability -quick -json > BENCH_capability.json
+
 # The CI cluster-scale gate: asserts the sharded engine's >= 1.5x
 # wall-clock speedup at 4 shards / 64 hosts. Needs >= 4 idle cores; the
 # test skips itself otherwise.
@@ -65,7 +68,7 @@ scale-gate:
 # safety-property sweeps. FAULT_SEEDS widens the sweep (CI uses 64, the
 # nightly schedule 1024; default 8 keeps local runs quick).
 faults: bench-faults
-	$(GO) test -run 'TestReplayDeterminism|TestStrictSafetyModesNeverServeStale|TestStrawmanCaughtWithinOneWindow' ./internal/fault
+	$(GO) test -run 'TestReplayDeterminism|TestStrictSafetyModesNeverServeStale|TestStrawmanCaughtWithinOneWindow|TestCapabilityFamilySafetyOrdering' ./internal/fault
 
 # Coverage with the CI ratchet: fails when total statement coverage falls
 # below ci/coverage_floor.txt. Bump the floor when coverage rises.

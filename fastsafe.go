@@ -44,6 +44,15 @@ const (
 	// audits (Options.Faults) have a mode that provably serves stale
 	// translations; it is excluded from Modes().
 	DeferNoShootdown Mode = "defer-noshootdown"
+	// Cap is the CAPIO-style capability family: DMA validates against a
+	// per-domain capability table (no page-table walk, no IOTLB), and
+	// unmap revokes the grant synchronously — strict-equivalent safety
+	// with O(1) checks. Excluded from Modes() sweeps.
+	Cap Mode = "cap"
+	// CapLazyRevoke batches capability revocations like deferred mode
+	// batches IOTLB flushes, trading a bounded stale-capability window
+	// for cheaper unmaps. Excluded from Modes() sweeps.
+	CapLazyRevoke Mode = "cap-lazyrevoke"
 )
 
 // Modes lists every implemented protection mode.
@@ -240,18 +249,20 @@ type Series struct {
 // StaleRemapped are safety violations — Blocked and Retries are the
 // protection working as designed.
 type SafetyReport struct {
-	Checked       int64 // translations audited
-	Blocked       int64 // DMAs the IOMMU rejected (no live mapping)
-	StaleUnmapped int64 // DMAs served from a stale cache after unmap
-	StaleRemapped int64 // DMAs served to the wrong page after IOVA reuse
-	StaleATS      int64 // DMAs served from a stale device-TLB (ATS) entry
-	Retries       int64 // benign driver retries caused by injected faults
+	Checked         int64 // translations audited
+	Blocked         int64 // DMAs the IOMMU rejected (no live mapping)
+	StaleUnmapped   int64 // DMAs served from a stale cache after unmap
+	StaleRemapped   int64 // DMAs served to the wrong page after IOVA reuse
+	StaleATS        int64 // DMAs served from a stale device-TLB (ATS) entry
+	StaleCapability int64 // DMAs served by a grant that outlived its mapping (cap-lazyrevoke window)
+	Retries         int64 // benign driver retries caused by injected faults
 }
 
 // Violations is the count of stale-served DMAs — the number the paper's
-// safety claim requires to be zero for strict and F&S.
+// safety claim requires to be zero for strict and F&S, and this
+// codebase additionally requires to be zero for the eager cap mode.
 func (s SafetyReport) Violations() int64 {
-	return s.StaleUnmapped + s.StaleRemapped + s.StaleATS
+	return s.StaleUnmapped + s.StaleRemapped + s.StaleATS + s.StaleCapability
 }
 
 // LatencyReport summarises one latency distribution in microseconds.
@@ -275,6 +286,11 @@ type DeviceReport struct {
 	ATSLookups       int64   // translations that consulted the device TLB
 	ATSHitRate       float64 // fraction of lookups served locally
 	ATCInvalidations int64   // device-TLB entries shot down by host unmaps
+
+	// Capability-table accounting; all zero outside cap/cap-lazyrevoke.
+	CapChecks      int64 // DMAs validated against the capability table
+	CapRevocations int64 // grants killed (revokes and overwriting re-grants)
+	CapDenied      int64 // DMAs blocked for want of a live grant
 }
 
 // latencyReport summarises a latency histogram; a nil or empty histogram
@@ -397,12 +413,13 @@ func reportFrom(r host.Results) Report {
 	}
 	if r.Safety != nil {
 		rep.Safety = &SafetyReport{
-			Checked:       r.Safety.Checked,
-			Blocked:       r.Safety.Blocked,
-			StaleUnmapped: r.Safety.StaleUnmapped,
-			StaleRemapped: r.Safety.StaleRemapped,
-			StaleATS:      r.Safety.StaleATS,
-			Retries:       r.Safety.Retries,
+			Checked:         r.Safety.Checked,
+			Blocked:         r.Safety.Blocked,
+			StaleUnmapped:   r.Safety.StaleUnmapped,
+			StaleRemapped:   r.Safety.StaleRemapped,
+			StaleATS:        r.Safety.StaleATS,
+			StaleCapability: r.Safety.StaleCapability,
+			Retries:         r.Safety.Retries,
 		}
 	}
 	for _, s := range r.Timeline {
@@ -424,6 +441,9 @@ func reportFrom(r host.Results) Report {
 			ATSLookups:       d.ATSLookups,
 			ATSHitRate:       d.ATSHitRate,
 			ATCInvalidations: d.ATCInvalidations,
+			CapChecks:        d.CapChecks,
+			CapRevocations:   d.CapRevocations,
+			CapDenied:        d.CapDenied,
 		})
 	}
 	return rep

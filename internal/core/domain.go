@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"fastsafe/internal/ats"
 	"fastsafe/internal/fault"
@@ -32,6 +33,13 @@ type CostModel struct {
 	// the device and back before the invalidation completes. Charged
 	// only when the domain has a device-side ATS cache attached.
 	ATCInvRequest sim.Duration
+	// CapGrant/CapRevoke are the capability family's per-page costs:
+	// installing (or overwriting) one entry in the per-domain capability
+	// table, and killing one. Both are O(1) table updates with no
+	// invalidation-queue round trip — that asymmetry against InvRequest
+	// is the whole point of the CAPIO-style design.
+	CapGrant  sim.Duration
+	CapRevoke sim.Duration
 }
 
 // DefaultCosts are calibrated so that, with the default per-packet stack
@@ -48,6 +56,8 @@ func DefaultCosts() CostModel {
 		UnmapPage:     60,
 		InvRequest:    250,
 		ATCInvRequest: 450,
+		CapGrant:      90,
+		CapRevoke:     90,
 	}
 }
 
@@ -169,6 +179,7 @@ type Counters struct {
 // allocator and a protection-mode datapath.
 type Domain struct {
 	cfg   Config
+	pol   Policy
 	mmu   *iommu.IOMMU
 	domID iommu.DomainID
 	table *ptable.Table
@@ -188,6 +199,13 @@ type Domain struct {
 
 	// deferred mode state
 	deferredPending []pendingFree
+	// capability family state: the per-domain grant table registered
+	// with the IOMMU, plus the lazy-revoke batches (see cap.go)
+	caps            *iommu.CapTable
+	capRevokes      []pendingFree // granted ranges whose caps die at the next flush
+	capFrees        []pendingFree // IOVA ranges released only at the flush
+	capRegrants     []capRegrant  // window re-grants deferred to the flush
+	capPendingPages int
 	// persistent mode descriptor pool, per CPU
 	pool [][]*Descriptor
 	// out-of-order consumption pool (see Config.FreePoolSize)
@@ -203,9 +221,16 @@ type pendingFree struct {
 	cpu   int
 }
 
-// NewDomain builds a protection domain.
-func NewDomain(cfg Config) *Domain {
+// NewDomain builds a protection domain. A mode with no registered
+// policy is a construction-time error — the datapaths carry no
+// "unhandled mode" branches.
+func NewDomain(cfg Config) (*Domain, error) {
 	cfg = cfg.withDefaults()
+	pol, ok := PolicyFor(cfg.Mode)
+	if !ok {
+		return nil, fmt.Errorf("core: mode %v has no registered policy (valid: %s)",
+			cfg.Mode, strings.Join(ValidModeNames(), ", "))
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
@@ -219,6 +244,7 @@ func NewDomain(cfg Config) *Domain {
 	}
 	d := &Domain{
 		cfg:      cfg,
+		pol:      pol,
 		mmu:      mmu,
 		domID:    domID,
 		table:    mmu.TableOf(domID),
@@ -232,7 +258,12 @@ func NewDomain(cfg Config) *Domain {
 		rng:      rand.New(rand.NewSource(seed)),
 	}
 	d.trans = mmu.TranslatorOf(domID)
-	if cfg.ATS.Entries > 0 {
+	if capabilityMode(cfg.Mode) {
+		// Capability domains validate DMAs against the grant table, not
+		// the walked page tables, so a device-side ATS cache would hold
+		// translations no revocation could reach. The family forbids it.
+		d.caps = mmu.AttachCapTable(domID)
+	} else if cfg.ATS.Entries > 0 {
 		d.atc = ats.New(mmu, domID, d.trans, cfg.ATS)
 		d.trans = d.atc
 	}
@@ -244,7 +275,7 @@ func NewDomain(cfg Config) *Domain {
 		// attached to the plan.
 		cfg.Faults.AttachFlusher(d.alloc.FlushRCaches)
 	}
-	return d
+	return d, nil
 }
 
 // Mode returns the domain's protection mode.
@@ -399,182 +430,13 @@ func (d *Domain) traceAccess(v ptable.IOVA) {
 // on cpu's ring (§2.1 step 1). It returns the descriptor and the CPU time
 // spent. In Off mode IOVAs are identities for fresh physical pages.
 func (d *Domain) MapRxDescriptor(cpu int) (*Descriptor, sim.Duration, error) {
-	pages := d.cfg.DescriptorPages
-	desc := &Descriptor{cpu: cpu}
-	var cost sim.Duration
-
-	switch d.cfg.Mode {
-	case Off:
-		for i := 0; i < pages; i++ {
-			desc.IOVAs = append(desc.IOVAs, ptable.IOVA(d.newPhys()))
-		}
-		return desc, 0, nil
-
-	case FNSHuge:
-		return d.mapRxDescriptorHuge(cpu)
-
-	case Persistent:
-		// Recycle a pre-mapped descriptor when available.
-		if n := len(d.pool[cpu]); n > 0 {
-			desc = d.pool[cpu][n-1]
-			d.pool[cpu] = d.pool[cpu][:n-1]
-			d.c.RxDescriptorsMapped++
-			return desc, 0, nil
-		}
-		// First use: build a contiguous chunk and map it permanently.
-		base, c, err := d.allocIOVA(cpu, pages)
-		if err != nil {
-			return nil, 0, err
-		}
-		cost += c
-		desc.base, desc.contig, desc.persistent = base, true, true
-		for i := 0; i < pages; i++ {
-			v := base + ptable.IOVA(i*ptable.PageSize)
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return nil, 0, err
-			}
-			d.traceAccess(v)
-			desc.IOVAs = append(desc.IOVAs, v)
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-		}
-
-	case Strict, Deferred, StrictPreserve:
-		// Default Linux: one page-sized IOVA per page, no contiguity.
-		for i := 0; i < pages; i++ {
-			v, c, err := d.allocIOVA(cpu, 1)
-			if err != nil {
-				return nil, 0, err
-			}
-			cost += c
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return nil, 0, err
-			}
-			d.traceAccess(v)
-			desc.IOVAs = append(desc.IOVAs, v)
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-		}
-
-	case StrictContig, FNS, DeferNoShootdown:
-		// F&S idea B: one descriptor-sized contiguous chunk, mapped page
-		// by page (Figure 4b) — no hardware or allocator changes. The
-		// DeferNoShootdown strawman maps identically; it only differs on
-		// the unmap side (no shootdown).
-		base, c, err := d.allocIOVA(cpu, pages)
-		if err != nil {
-			return nil, 0, err
-		}
-		cost += c
-		desc.base, desc.contig = base, true
-		for i := 0; i < pages; i++ {
-			v := base + ptable.IOVA(i*ptable.PageSize)
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return nil, 0, err
-			}
-			d.traceAccess(v)
-			desc.IOVAs = append(desc.IOVAs, v)
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-		}
-
-	default:
-		return nil, 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
-	}
-
-	d.c.RxDescriptorsMapped++
-	d.c.CPUTime += cost
-	return desc, cost, nil
+	return d.pol.mapRx(d, cpu)
 }
 
 // UnmapRxDescriptor completes an Rx descriptor (§2.1 step 4): unmap every
-// page, invalidate per the mode's policy, free the IOVAs.
+// page, invalidate (or revoke) per the policy, free the IOVAs.
 func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
-	var cost sim.Duration
-	switch d.cfg.Mode {
-	case Off:
-		return 0, nil
-
-	case FNSHuge:
-		return d.unmapRxDescriptorHuge(desc)
-
-	case Persistent:
-		// No unmap, no invalidation: recycle. The device retains access —
-		// the weaker safety property.
-		d.pool[desc.cpu] = append(d.pool[desc.cpu], desc)
-		d.c.RxDescriptorsUnmapped++
-		return 0, nil
-
-	case Strict, StrictPreserve:
-		// Per-page unmap, per-page invalidation request (Figure 6a).
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
-		for _, v := range desc.IOVAs {
-			res, err := d.table.Unmap(v, ptable.PageSize)
-			if err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.UnmapPage
-			d.c.PagesUnmapped++
-			cost += d.invalidate(v, 1, iotlbOnly)
-			if iotlbOnly && len(res.Reclaimed) > 0 {
-				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
-				d.c.Reclaims += int64(len(res.Reclaimed))
-			}
-			cost += d.freeIOVA(desc.cpu, v, 1)
-		}
-
-	case Deferred:
-		// Unmap now; batch the invalidation and the IOVA free until the
-		// global flush.
-		for _, v := range desc.IOVAs {
-			if _, err := d.table.Unmap(v, ptable.PageSize); err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.UnmapPage
-			d.c.PagesUnmapped++
-			d.deferredPending = append(d.deferredPending, pendingFree{v, 1, desc.cpu})
-		}
-		cost += d.maybeFlushDeferred()
-
-	case StrictContig, FNS:
-		// One ranged unmap and a single batched invalidation request for
-		// the whole descriptor (Figure 6b).
-		pages := len(desc.IOVAs)
-		res, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize)
-		if err != nil {
-			return cost, err
-		}
-		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
-		d.c.PagesUnmapped += int64(pages)
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
-		cost += d.invalidate(desc.base, pages, iotlbOnly)
-		if iotlbOnly && len(res.Reclaimed) > 0 {
-			d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
-			d.c.Reclaims += int64(len(res.Reclaimed))
-		}
-		cost += d.freeIOVA(desc.cpu, desc.base, pages)
-
-	case DeferNoShootdown:
-		// The unsafe strawman: ranged unmap like FNS, but no invalidation
-		// is ever submitted and the IOVAs recycle immediately. Cached
-		// IOTLB/PTcache entries survive past the unmap, so a later DMA —
-		// stray or legitimate after recycling — can be served stale. The
-		// safety auditor exists to catch exactly this.
-		pages := len(desc.IOVAs)
-		if _, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize); err != nil {
-			return cost, err
-		}
-		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
-		d.c.PagesUnmapped += int64(pages)
-		cost += d.freeIOVA(desc.cpu, desc.base, pages)
-
-	default:
-		return 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
-	}
-
-	d.c.RxDescriptorsUnmapped++
-	d.c.CPUTime += cost
-	return cost, nil
+	return d.pol.unmapRx(d, desc)
 }
 
 // RemapRxDescriptor rotates the buffers behind a registered descriptor:
@@ -587,87 +449,7 @@ func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
 // the IOTLB and any device-side ATC keep serving the old physical
 // addresses for IOVAs that are still mapped — just not there.
 func (d *Domain) RemapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
-	var cost sim.Duration
-	switch d.cfg.Mode {
-	case Off, Persistent, FNSHuge:
-		// Off has no table to rotate. Persistent retains device access by
-		// design. FNSHuge revokes at 2MB granularity only — rotating one
-		// descriptor inside a shared huge chunk is impossible, so the
-		// window behaves persistently (the §5 trade-off at its extreme).
-		return 0, nil
-
-	case Strict, StrictPreserve, Deferred:
-		// Per-page unmap + eager per-page invalidation, then remap in
-		// place. Deferred degenerates to this too: a registered window's
-		// IOVAs are reused immediately, so their invalidation cannot sit
-		// in the deferred batch.
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
-		for _, v := range desc.IOVAs {
-			res, err := d.table.Unmap(v, ptable.PageSize)
-			if err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.UnmapPage
-			d.c.PagesUnmapped++
-			cost += d.invalidate(v, 1, iotlbOnly)
-			if iotlbOnly && len(res.Reclaimed) > 0 {
-				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
-				d.c.Reclaims += int64(len(res.Reclaimed))
-			}
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-		}
-
-	case StrictContig, FNS:
-		// Ranged unmap, one batched invalidation, remap page by page.
-		pages := len(desc.IOVAs)
-		res, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize)
-		if err != nil {
-			return cost, err
-		}
-		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
-		d.c.PagesUnmapped += int64(pages)
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
-		cost += d.invalidate(desc.base, pages, iotlbOnly)
-		if iotlbOnly && len(res.Reclaimed) > 0 {
-			d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
-			d.c.Reclaims += int64(len(res.Reclaimed))
-		}
-		for _, v := range desc.IOVAs {
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-		}
-
-	case DeferNoShootdown:
-		// The strawman: re-point the pages, never tell the caches.
-		pages := len(desc.IOVAs)
-		if _, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize); err != nil {
-			return cost, err
-		}
-		cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
-		d.c.PagesUnmapped += int64(pages)
-		for _, v := range desc.IOVAs {
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-		}
-
-	default:
-		return 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
-	}
-
-	d.c.RxDescriptorsUnmapped++
-	d.c.RxDescriptorsMapped++
-	d.c.CPUTime += cost
-	return cost, nil
+	return d.pol.remapRx(d, desc)
 }
 
 // maybeFlushDeferred performs the deferred-mode global flush once enough
@@ -686,24 +468,18 @@ func (d *Domain) maybeFlushDeferred() sim.Duration {
 }
 
 // PendingDeferred reports unmapped-but-not-invalidated pages (deferred
-// mode's unsafe window).
-func (d *Domain) PendingDeferred() int { return len(d.deferredPending) }
+// mode's unsafe window) — or, for cap-lazyrevoke, unmapped-but-not-
+// revoked pages (the capability analogue).
+func (d *Domain) PendingDeferred() int {
+	return len(d.deferredPending) + d.capPendingPages
+}
 
-// FlushDeferred forces the deferred-mode global flush regardless of the
-// pending count — the 10ms timer path of Linux's lazy mode. Returns the
-// CPU cost; a no-op outside deferred mode or with nothing pending.
+// FlushDeferred forces the policy's batch flush regardless of the
+// pending count — the 10ms timer path of Linux's lazy mode, reused by
+// cap-lazyrevoke for the revocation batch. Returns the CPU cost; a no-op
+// for policies that batch nothing or with nothing pending.
 func (d *Domain) FlushDeferred() sim.Duration {
-	if d.cfg.Mode != Deferred || len(d.deferredPending) == 0 {
-		return 0
-	}
-	cost := d.flushInvalidate()
-	d.c.DeferredFlushes++
-	for _, p := range d.deferredPending {
-		cost += d.freeIOVA(p.cpu, p.base, p.pages)
-	}
-	d.deferredPending = d.deferredPending[:0]
-	d.c.CPUTime += cost
-	return cost
+	return d.pol.flush(d)
 }
 
 // MapPersistentPages maps pages 4KB pages that live for the domain's whole
@@ -724,8 +500,14 @@ func (d *Domain) MapPersistentPages(cpu, pages int) ([]ptable.IOVA, error) {
 	}
 	for i := 0; i < pages; i++ {
 		v := base + ptable.IOVA(i*ptable.PageSize)
-		if err := d.table.Map(v, d.newPhys()); err != nil {
+		p := d.newPhys()
+		if err := d.table.Map(v, p); err != nil {
 			return nil, err
+		}
+		if d.caps != nil {
+			// Capability domains reach persistent pages (descriptor
+			// rings) through standing grants installed at driver init.
+			d.caps.Grant(v, p)
 		}
 		out = append(out, v)
 	}

@@ -8,7 +8,16 @@ import (
 
 func newDomain(t *testing.T, mode Mode) *Domain {
 	t.Helper()
-	return NewDomain(Config{Mode: mode, NumCPUs: 2, DescriptorPages: 64})
+	return mustDomain(t, Config{Mode: mode, NumCPUs: 2, DescriptorPages: 64})
+}
+
+func mustDomain(t *testing.T, cfg Config) *Domain {
+	t.Helper()
+	d, err := NewDomain(cfg)
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	return d
 }
 
 func TestModeStringRoundtrip(t *testing.T) {
@@ -116,7 +125,7 @@ func TestStrictSafetyAfterUnmap(t *testing.T) {
 }
 
 func TestDeferredLeavesUnsafeWindow(t *testing.T) {
-	d := NewDomain(Config{Mode: Deferred, NumCPUs: 1, DescriptorPages: 8, DeferredLimit: 1 << 20})
+	d := mustDomain(t, Config{Mode: Deferred, NumCPUs: 1, DescriptorPages: 8, DeferredLimit: 1 << 20})
 	desc, _, err := d.MapRxDescriptor(0)
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +153,7 @@ func TestDeferredLeavesUnsafeWindow(t *testing.T) {
 }
 
 func TestDeferredFlushRevokesAccess(t *testing.T) {
-	d := NewDomain(Config{Mode: Deferred, NumCPUs: 1, DescriptorPages: 8, DeferredLimit: 8})
+	d := mustDomain(t, Config{Mode: Deferred, NumCPUs: 1, DescriptorPages: 8, DeferredLimit: 8})
 	desc, _, err := d.MapRxDescriptor(0)
 	if err != nil {
 		t.Fatal(err)
@@ -441,7 +450,7 @@ func TestTxPersistentPoolRecycles(t *testing.T) {
 }
 
 func TestTraceRecordsL3Keys(t *testing.T) {
-	d := NewDomain(Config{Mode: FNS, NumCPUs: 1, DescriptorPages: 64, TraceL3: true})
+	d := mustDomain(t, Config{Mode: FNS, NumCPUs: 1, DescriptorPages: 64, TraceL3: true})
 	desc, _, err := d.MapRxDescriptor(0)
 	if err != nil {
 		t.Fatal(err)
@@ -464,7 +473,7 @@ func TestTraceRecordsL3Keys(t *testing.T) {
 }
 
 func TestDescriptorPagesDefault(t *testing.T) {
-	d := NewDomain(Config{Mode: Strict})
+	d := mustDomain(t, Config{Mode: Strict})
 	desc, _, err := d.MapRxDescriptor(0)
 	if err != nil {
 		t.Fatal(err)
@@ -495,8 +504,8 @@ func TestCountersAccumulate(t *testing.T) {
 func TestSharedIOMMUDomains(t *testing.T) {
 	// Two driver domains over one IOMMU: separate IOVA spaces and page
 	// tables, shared caches, independent safety.
-	nicDom := NewDomain(Config{Mode: FNS, NumCPUs: 1})
-	stDom := NewDomain(Config{Mode: FNS, NumCPUs: 1, SharedIOMMU: nicDom.IOMMU()})
+	nicDom := mustDomain(t, Config{Mode: FNS, NumCPUs: 1})
+	stDom := mustDomain(t, Config{Mode: FNS, NumCPUs: 1, SharedIOMMU: nicDom.IOMMU()})
 	if nicDom.IOMMU() != stDom.IOMMU() {
 		t.Fatal("domains do not share the IOMMU")
 	}

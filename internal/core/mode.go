@@ -9,7 +9,11 @@
 // simulation can charge it to a core.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Mode selects the protection datapath.
 type Mode int
@@ -63,6 +67,21 @@ const (
 	// the safety auditor must flag stale-served DMAs. It exists to prove
 	// the auditor has teeth and is deliberately excluded from Modes().
 	DeferNoShootdown
+	// Cap is the CAPIO-style capability family: the domain grants the
+	// device a per-buffer capability at map time, every DMA is validated
+	// against the per-domain capability table in O(1) (no page-table walk
+	// on the guarded path), and unmap synchronously revokes the
+	// capability instead of queueing an IOTLB invalidation. Strict-
+	// equivalent safety: the device provably loses access the moment the
+	// descriptor completes. Kept out of Modes() — the capability figure
+	// compares it explicitly rather than riding every mode sweep.
+	Cap
+	// CapLazyRevoke is the weaker capability variant: unmaps only queue
+	// the revocation, and a threshold (or timer) flush kills the batch —
+	// the capability analogue of Deferred. The device can keep using a
+	// granted capability until the flush, so the safety auditor must
+	// classify those serves as stale-capability violations.
+	CapLazyRevoke
 )
 
 var modeNames = map[Mode]string{
@@ -75,6 +94,8 @@ var modeNames = map[Mode]string{
 	Persistent:       "persistent",
 	FNSHuge:          "fns+huge",
 	DeferNoShootdown: "defer-noshootdown",
+	Cap:              "cap",
+	CapLazyRevoke:    "cap-lazyrevoke",
 }
 
 func (m Mode) String() string {
@@ -84,6 +105,29 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// ValidModeNames is the one shared name table: every parseable mode
+// name, Modes() presentation order first, then the modes deliberately
+// kept out of Modes() (strawmen and the capability family) sorted by
+// name. internal/modespec delegates here so the two parsers reject an
+// unknown mode with the same vocabulary.
+func ValidModeNames() []string {
+	listed := Modes()
+	out := make([]string, 0, len(modeNames))
+	seen := make(map[Mode]bool, len(listed))
+	for _, m := range listed {
+		out = append(out, m.String())
+		seen[m] = true
+	}
+	var extra []string
+	for m, name := range modeNames {
+		if !seen[m] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
 // ParseMode maps a name (as printed by String) back to a Mode.
 func ParseMode(s string) (Mode, error) {
 	for m, name := range modeNames {
@@ -91,35 +135,47 @@ func ParseMode(s string) (Mode, error) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown mode %q", s)
+	return 0, fmt.Errorf("core: unknown mode %q (valid: %s)",
+		s, strings.Join(ValidModeNames(), ", "))
 }
 
-// Translated reports whether DMA addresses pass through the IOMMU in this
-// mode.
-func (m Mode) Translated() bool { return m != Off }
+// Translated reports whether DMA addresses pass through the IOMMU's
+// protection check (address translation or capability validation) in
+// this mode. Delegates to the registered policy; the pre-seam fallback
+// covers unregistered Mode values.
+func (m Mode) Translated() bool {
+	if p, ok := policies[m]; ok {
+		return p.Translated()
+	}
+	return m != Off
+}
 
 // StrictSafety reports whether the mode guarantees the device cannot
 // access a buffer after its descriptor completes (the paper's strict
 // safety property).
 func (m Mode) StrictSafety() bool {
-	switch m {
-	case Strict, StrictPreserve, StrictContig, FNS:
-		return true
-	default:
-		return false
+	if p, ok := policies[m]; ok {
+		return p.StrictSafety()
 	}
+	return false
 }
 
 // Contiguous reports whether the mode allocates descriptor-sized (or
 // larger) contiguous IOVA chunks.
 func (m Mode) Contiguous() bool {
-	return m == StrictContig || m == FNS || m == FNSHuge || m == DeferNoShootdown
+	if p, ok := policies[m]; ok {
+		return p.Contiguous()
+	}
+	return false
 }
 
 // PreservesPTCaches reports whether invalidations keep the page-table
 // caches (F&S idea A).
 func (m Mode) PreservesPTCaches() bool {
-	return m == StrictPreserve || m == FNS || m == FNSHuge
+	if p, ok := policies[m]; ok {
+		return p.PreservesPTCaches()
+	}
+	return false
 }
 
 // Modes lists all implemented modes in presentation order.

@@ -10,7 +10,7 @@ import (
 
 func newATSDomain(t *testing.T, mode Mode, entries int) *Domain {
 	t.Helper()
-	return NewDomain(Config{
+	return mustDomain(t, Config{
 		Mode: mode, NumCPUs: 2, DescriptorPages: 8,
 		ATS: ats.Config{Entries: entries},
 	})

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"fastsafe/internal/ptable"
 	"fastsafe/internal/sim"
 )
@@ -10,7 +8,8 @@ import (
 // Tx datapath. Unlike Rx descriptors, Tx packets arrive one at a time from
 // the stack and each packet needs its own page-sized mappings (§3). Under
 // F&S, per-CPU descriptor-sized IOVA chunks are filled *across* packets in
-// transmission order, so invalidations can still be ranged.
+// transmission order, so invalidations can still be ranged. The per-mode
+// bodies live with their policies (policy.go, cap.go).
 
 // txPool is the per-CPU freelist of persistent pre-mapped Tx pages.
 type txPool struct {
@@ -22,85 +21,7 @@ func (d *Domain) MapTx(cpu, pages int) (*TxMapping, sim.Duration, error) {
 	if pages <= 0 {
 		pages = 1
 	}
-	m := &TxMapping{cpu: cpu}
-	var cost sim.Duration
-
-	switch d.cfg.Mode {
-	case Off:
-		for i := 0; i < pages; i++ {
-			m.IOVAs = append(m.IOVAs, ptable.IOVA(d.newPhys()))
-		}
-		return m, 0, nil
-
-	case Persistent:
-		for i := 0; i < pages; i++ {
-			if p := d.txPools(cpu); len(p.free) > 0 {
-				v := p.free[len(p.free)-1]
-				p.free = p.free[:len(p.free)-1]
-				m.IOVAs = append(m.IOVAs, v)
-				continue
-			}
-			v, c, err := d.allocIOVA(cpu, 1)
-			if err != nil {
-				return nil, 0, err
-			}
-			cost += c
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return nil, 0, err
-			}
-			d.traceAccess(v)
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-			m.IOVAs = append(m.IOVAs, v)
-		}
-
-	case Strict, Deferred, StrictPreserve:
-		for i := 0; i < pages; i++ {
-			v, c, err := d.allocIOVA(cpu, 1)
-			if err != nil {
-				return nil, 0, err
-			}
-			cost += c
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return nil, 0, err
-			}
-			d.traceAccess(v)
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-			m.IOVAs = append(m.IOVAs, v)
-		}
-
-	case StrictContig, FNS, FNSHuge, DeferNoShootdown:
-		for i := 0; i < pages; i++ {
-			ch := d.txChunks[cpu]
-			if ch == nil || ch.next == ch.pages {
-				base, c, err := d.allocIOVA(cpu, d.cfg.DescriptorPages)
-				if err != nil {
-					return nil, 0, err
-				}
-				cost += c
-				ch = &txChunk{base: base, pages: d.cfg.DescriptorPages}
-				d.txChunks[cpu] = ch
-			}
-			v := ch.base + ptable.IOVA(ch.next*ptable.PageSize)
-			ch.next++
-			if err := d.table.Map(v, d.newPhys()); err != nil {
-				return nil, 0, err
-			}
-			d.traceAccess(v)
-			cost += d.cfg.Costs.MapPage
-			d.c.PagesMapped++
-			m.IOVAs = append(m.IOVAs, v)
-			m.chunks = append(m.chunks, ch)
-		}
-
-	default:
-		return nil, 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
-	}
-
-	d.c.TxPacketsMapped++
-	d.c.CPUTime += cost
-	return m, cost, nil
+	return d.pol.mapTx(d, cpu, pages)
 }
 
 func (d *Domain) txPools(cpu int) *txPool {
@@ -113,119 +34,11 @@ func (d *Domain) txPools(cpu int) *txPool {
 	return d.txPool[cpu]
 }
 
-// UnmapTx completes a Tx packet: unmap its pages and invalidate per the
-// mode's policy. Strict safety requires the device to lose access as soon
-// as the packet completes, so even F&S invalidates here — but ranged over
-// each contiguous run the packet occupies within its chunks.
+// UnmapTx completes a Tx packet: unmap its pages and invalidate (or
+// revoke) per the policy. Strict safety requires the device to lose
+// access as soon as the packet completes, so even F&S invalidates here —
+// but ranged over each contiguous run the packet occupies within its
+// chunks.
 func (d *Domain) UnmapTx(m *TxMapping) (sim.Duration, error) {
-	var cost sim.Duration
-	switch d.cfg.Mode {
-	case Off:
-		return 0, nil
-
-	case Persistent:
-		p := d.txPools(m.cpu)
-		p.free = append(p.free, m.IOVAs...)
-		d.c.TxPacketsUnmapped++
-		return 0, nil
-
-	case Strict, StrictPreserve:
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
-		for _, v := range m.IOVAs {
-			res, err := d.table.Unmap(v, ptable.PageSize)
-			if err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.UnmapPage
-			d.c.PagesUnmapped++
-			cost += d.invalidate(v, 1, iotlbOnly)
-			if iotlbOnly && len(res.Reclaimed) > 0 {
-				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
-				d.c.Reclaims += int64(len(res.Reclaimed))
-			}
-			cost += d.freeIOVA(d.txFreeCPU(m.cpu), v, 1)
-		}
-
-	case Deferred:
-		for _, v := range m.IOVAs {
-			if _, err := d.table.Unmap(v, ptable.PageSize); err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.UnmapPage
-			d.c.PagesUnmapped++
-			d.deferredPending = append(d.deferredPending, pendingFree{v, 1, d.txFreeCPU(m.cpu)})
-		}
-		cost += d.maybeFlushDeferred()
-
-	case StrictContig, FNS, FNSHuge:
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
-		// Group the packet's pages into contiguous runs (they are
-		// contiguous except across a chunk boundary).
-		i := 0
-		for i < len(m.IOVAs) {
-			j := i + 1
-			for j < len(m.IOVAs) &&
-				m.IOVAs[j] == m.IOVAs[j-1]+ptable.PageSize &&
-				m.chunks[j] == m.chunks[i] {
-				j++
-			}
-			run := j - i
-			res, err := d.table.Unmap(m.IOVAs[i], uint64(run)*ptable.PageSize)
-			if err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.UnmapPage * sim.Duration(run)
-			d.c.PagesUnmapped += int64(run)
-			cost += d.invalidate(m.IOVAs[i], run, iotlbOnly)
-			if iotlbOnly && len(res.Reclaimed) > 0 {
-				d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
-				d.c.Reclaims += int64(len(res.Reclaimed))
-			}
-			// Release chunk slots; free the chunk once fully released.
-			ch := m.chunks[i]
-			ch.released += run
-			if ch.released == ch.pages {
-				cost += d.freeIOVA(d.txFreeCPU(m.cpu), ch.base, ch.pages)
-				if d.txChunks[m.cpu] == ch {
-					d.txChunks[m.cpu] = nil
-				}
-			}
-			i = j
-		}
-
-	case DeferNoShootdown:
-		// The unsafe strawman: ranged unmaps like FNS but no invalidation
-		// requests, chunk slots recycle immediately.
-		i := 0
-		for i < len(m.IOVAs) {
-			j := i + 1
-			for j < len(m.IOVAs) &&
-				m.IOVAs[j] == m.IOVAs[j-1]+ptable.PageSize &&
-				m.chunks[j] == m.chunks[i] {
-				j++
-			}
-			run := j - i
-			if _, err := d.table.Unmap(m.IOVAs[i], uint64(run)*ptable.PageSize); err != nil {
-				return cost, err
-			}
-			cost += d.cfg.Costs.UnmapPage * sim.Duration(run)
-			d.c.PagesUnmapped += int64(run)
-			ch := m.chunks[i]
-			ch.released += run
-			if ch.released == ch.pages {
-				cost += d.freeIOVA(d.txFreeCPU(m.cpu), ch.base, ch.pages)
-				if d.txChunks[m.cpu] == ch {
-					d.txChunks[m.cpu] = nil
-				}
-			}
-			i = j
-		}
-
-	default:
-		return 0, fmt.Errorf("core: unhandled mode %v", d.cfg.Mode)
-	}
-
-	d.c.TxPacketsUnmapped++
-	d.c.CPUTime += cost
-	return cost, nil
+	return d.pol.unmapTx(d, m)
 }

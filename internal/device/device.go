@@ -36,8 +36,9 @@ type Host interface {
 	// NewDomain creates a protection domain over the shared IOMMU. The
 	// host fills in SharedIOMMU and derives the domain's RNG seed from
 	// its own seed plus seedOffset, so distinct devices get distinct but
-	// deterministic free-pool shuffles.
-	NewDomain(cfg core.Config, seedOffset int64) *core.Domain
+	// deterministic free-pool shuffles. Errors on a mode with no
+	// registered protection policy.
+	NewDomain(cfg core.Config, seedOffset int64) (*core.Domain, error)
 	// Exec schedules driver work on the host core cpu: work runs when
 	// the core drains to it and returns the CPU time to charge; done (if
 	// non-nil) runs after the work completes.

@@ -79,10 +79,14 @@ func (s *Storage) Attach(h Host) error {
 	}
 	s.h = h
 	s.link = h.NewLink()
-	s.dom = h.NewDomain(core.Config{
+	dom, err := h.NewDomain(core.Config{
 		Mode:    s.cfg.Mode,
 		NumCPUs: 1,
 	}, s.cfg.SeedOffset)
+	if err != nil {
+		return fmt.Errorf("device: storage %s: %w", s.cfg.Name, err)
+	}
+	s.dom = dom
 	s.faults = h.Faults().Device(s.dom)
 	return nil
 }

@@ -1038,6 +1038,103 @@ func Rdma(o Options) Table {
 	return t
 }
 
+// Capability compares the page-table protection family against the
+// CAPIO-style capability family across buffer lifetimes, an adversarial
+// fault campaign, and one-sided RDMA window recycling (extension). Four
+// workloads isolate the trade. shortlived maps one-page descriptors at
+// 1500-byte MTU, so per-buffer overhead dominates and cap's O(1)
+// grant/revoke beats the page-table map-walk-shootdown sequence. bulk
+// streams the full 64-page descriptors on two cores, so per-page costs
+// dominate and F&S's contiguous mappings with batched invalidations
+// amortise what cap pays as a grant per page. faults replays the full
+// intensity-1 campaign under the audit layer. rdma recycles one-sided
+// WRITE windows across eight hosts through a device-side ATS cache —
+// the page-table modes pay an ATC shoot-down per recycle, while cap
+// domains never attach an ATC and the re-grant is the whole revocation.
+// The audit columns carry the safety ordering: cap is strict-equivalent
+// (zero stale-served on every workload), while cap-lazyrevoke batches
+// revocations the way deferred batches IOTLB flushes and exposes the
+// same bounded stale window, restated in capability terms.
+func Capability(o Options) Table {
+	t := Table{ID: "capability", Title: "Capability-table protection: page-table family vs capability family on goodput and audited safety (extension)",
+		Header: []string{"mode", "workload", "gbps", "reads/pg", "inv_reqs", "cap_checks", "cap_revocations", "checked", "stale_served"}}
+	type cell struct {
+		gbps, readsPg                               float64
+		invReqs, capChecks, capRevs, checked, stale int64
+	}
+	type cfg struct {
+		mode core.Mode
+		kind string
+	}
+	var cfgs []cfg
+	for _, m := range []core.Mode{core.Strict, core.FNS, core.Cap, core.CapLazyRevoke} {
+		for _, k := range []string{"shortlived", "bulk", "faults", "rdma"} {
+			cfgs = append(cfgs, cfg{m, k})
+		}
+	}
+	jobs := make([]runner.Job[cell], len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		jobs[i] = func(context.Context) (cell, error) {
+			if c.kind == "rdma" {
+				cl, err := host.NewCluster(host.ClusterConfig{
+					Hosts: 8, Traffic: host.Pairs, Op: transport.Write,
+					Host: host.Config{Mode: c.mode, Audit: true, ATSEntries: 1024},
+				})
+				if err != nil {
+					return cell{}, err
+				}
+				r := cl.Run(o.Warmup, o.Measure)
+				out := cell{gbps: r.AggRxGbps, readsPg: r.Hosts[1].ReadsPerPage, stale: r.Violations()}
+				for _, h := range r.Hosts {
+					out.invReqs += h.InvRequests
+					out.capChecks += h.CapChecks
+					out.capRevs += h.CapRevocations
+					if h.Safety != nil {
+						out.checked += h.Safety.Checked
+					}
+				}
+				return out, nil
+			}
+			hc := host.Config{Mode: c.mode, Audit: true}
+			switch c.kind {
+			case "shortlived":
+				hc.DescriptorPages, hc.MTU, hc.RingPackets = 1, 1500, 512
+			case "bulk":
+				hc.Cores = 2
+			case "faults":
+				hc.Faults, hc.FaultSeed = fault.Campaign(1), 1
+			}
+			h, err := host.New(hc)
+			if err != nil {
+				return cell{}, err
+			}
+			r := h.Run(o.Warmup, o.Measure)
+			var s fault.SafetyReport
+			if r.Safety != nil {
+				s = *r.Safety
+			}
+			return cell{gbps: r.RxGbps, readsPg: r.ReadsPerPage, invReqs: r.InvRequests,
+				capChecks: r.CapChecks, capRevs: r.CapRevocations,
+				checked: s.Checked, stale: s.Violations()}, nil
+		}
+	}
+	cells, err := runner.Collect(context.Background(), runner.Config{Workers: o.Parallel}, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: capability: %v", err))
+	}
+	for i, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			cfgs[i].mode.String(), cfgs[i].kind,
+			f1(c.gbps), f2(c.readsPg),
+			fmt.Sprintf("%d", c.invReqs), fmt.Sprintf("%d", c.capChecks),
+			fmt.Sprintf("%d", c.capRevs),
+			fmt.Sprintf("%d", c.checked), fmt.Sprintf("%d", c.stale),
+		})
+	}
+	return t
+}
+
 // clusterScaleCell is one (traffic, hosts, shards) configuration of the
 // clusterscale figure.
 type clusterScaleCell struct {
@@ -1148,7 +1245,7 @@ func All(o Options) []Table {
 		Fig12(o), Model(o), Deferred(o), DescriptorSizes(o), CacheSizes(o),
 		Hugepages(o), MemoryLatency(o), Seeds(o), Storage(o), MemoryHog(o),
 		Timeline(o), CPUCost(o), Faults(o), Cluster(o), ClusterScale(o),
-		Rdma(o),
+		Rdma(o), Capability(o),
 	}
 }
 
@@ -1164,7 +1261,7 @@ func ByID(id string, o Options) (Table, error) {
 		"memlat": MemoryLatency, "seeds": Seeds, "storage": Storage,
 		"multidev": Multidev, "memhog": MemoryHog, "timeline": Timeline,
 		"cpucost": CPUCost, "faults": Faults, "cluster": Cluster,
-		"clusterscale": ClusterScale, "rdma": Rdma,
+		"clusterscale": ClusterScale, "rdma": Rdma, "capability": Capability,
 	}
 	f, ok := fns[id]
 	if !ok {
@@ -1180,6 +1277,6 @@ func IDs() []string {
 		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
 		"model", "modes", "descsize", "ptcache", "huge", "memlat", "seeds",
 		"storage", "multidev", "memhog", "timeline", "cpucost", "faults",
-		"cluster", "clusterscale", "rdma",
+		"cluster", "clusterscale", "rdma", "capability",
 	}
 }

@@ -29,9 +29,11 @@ func goldenOpts() Options {
 // figure (N hosts on the shared engine and fabric), the clusterscale
 // figure (the sharded conservative-parallel engine at 64-256 hosts; its
 // rendered rows are deterministic — wall-clock lives in the JSON-only
-// Notes), and the rdma figure (one-sided peer flows through the
-// device-side ATS cache, including the strawman's audited stale hits).
-var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale", "rdma"}
+// Notes), the rdma figure (one-sided peer flows through the device-side
+// ATS cache, including the strawman's audited stale hits), and the
+// capability figure (the capability-table protection family next to the
+// page-table family, with the lazy-revoke stale window audited).
+var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale", "rdma", "capability"}
 
 // TestGoldenFiguresByteIdentical regenerates each golden figure and
 // requires byte-for-byte identity with the committed file. Regenerate

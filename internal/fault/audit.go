@@ -26,30 +26,37 @@ type SafetyReport struct {
 	// this window by shooting the ATC down inside the unmap; the
 	// defer-noshootdown strawman provably does not.
 	StaleATS int64
-	Retries  int64 // benign driver retries provoked by injected faults
+	// StaleCapability counts DMAs validated by a capability whose grant
+	// outlived the mapping it covered — the cap-lazyrevoke window between
+	// unmap (or window re-point) and the revocation flush. The eager cap
+	// mode kills the grant inside the unmap, so it must stay at zero the
+	// way strict/F&S keep the IOTLB counters at zero.
+	StaleCapability int64
+	Retries         int64 // benign driver retries provoked by injected faults
 }
 
 // Violations counts true safety violations: DMAs the IOMMU let through
 // to memory the current page table does not map them to.
 func (r SafetyReport) Violations() int64 {
-	return r.StaleUnmapped + r.StaleRemapped + r.StaleATS
+	return r.StaleUnmapped + r.StaleRemapped + r.StaleATS + r.StaleCapability
 }
 
 // Sub returns the window delta r−b (both taken from the same auditor).
 func (r SafetyReport) Sub(b SafetyReport) SafetyReport {
 	return SafetyReport{
-		Checked:       r.Checked - b.Checked,
-		Blocked:       r.Blocked - b.Blocked,
-		StaleUnmapped: r.StaleUnmapped - b.StaleUnmapped,
-		StaleRemapped: r.StaleRemapped - b.StaleRemapped,
-		StaleATS:      r.StaleATS - b.StaleATS,
-		Retries:       r.Retries - b.Retries,
+		Checked:         r.Checked - b.Checked,
+		Blocked:         r.Blocked - b.Blocked,
+		StaleUnmapped:   r.StaleUnmapped - b.StaleUnmapped,
+		StaleRemapped:   r.StaleRemapped - b.StaleRemapped,
+		StaleATS:        r.StaleATS - b.StaleATS,
+		StaleCapability: r.StaleCapability - b.StaleCapability,
+		Retries:         r.Retries - b.Retries,
 	}
 }
 
 func (r SafetyReport) String() string {
-	return fmt.Sprintf("checked=%d blocked=%d stale_unmapped=%d stale_remapped=%d stale_ats=%d retries=%d violations=%d",
-		r.Checked, r.Blocked, r.StaleUnmapped, r.StaleRemapped, r.StaleATS, r.Retries, r.Violations())
+	return fmt.Sprintf("checked=%d blocked=%d stale_unmapped=%d stale_remapped=%d stale_ats=%d stale_cap=%d retries=%d violations=%d",
+		r.Checked, r.Blocked, r.StaleUnmapped, r.StaleRemapped, r.StaleATS, r.StaleCapability, r.Retries, r.Violations())
 }
 
 // Auditor cross-checks every completed translation against the live IO
@@ -105,10 +112,19 @@ func (a *Auditor) check(d iommu.DomainID, v ptable.IOVA, t iommu.Translation) {
 		// The IOMMU says this translation is fine. Verify against the
 		// live table: same physical page for both 4KB and huge leaves
 		// (LookupHugeAware returns the offset-adjusted huge phys, the
-		// same convention Translation.Phys uses).
+		// same convention Translation.Phys uses). A mismatch under a
+		// capability check means the grant outlived its mapping — the
+		// lazy-revoke hole — and is classified separately so campaigns
+		// can pin it on the capability family the way stale-IOTLB serves
+		// pin deferred modes.
 		if w, _, ok := a.mmu.TableOf(d).LookupHugeAware(v); !ok || w.Phys != t.Phys {
-			g.StaleRemapped++
-			pd.StaleRemapped++
+			if t.Cap {
+				g.StaleCapability++
+				pd.StaleCapability++
+			} else {
+				g.StaleRemapped++
+				pd.StaleRemapped++
+			}
 		}
 	}
 }
@@ -181,6 +197,7 @@ func (a *Auditor) RegisterProbes(r *stats.Registry, prefix string) {
 	probe("stale_unmapped", func(s SafetyReport) int64 { return s.StaleUnmapped })
 	probe("stale_remapped", func(s SafetyReport) int64 { return s.StaleRemapped })
 	probe("stale_ats", func(s SafetyReport) int64 { return s.StaleATS })
+	probe("stale_cap", func(s SafetyReport) int64 { return s.StaleCapability })
 	probe("retries", func(s SafetyReport) int64 { return s.Retries })
 	probe("violations", func(s SafetyReport) int64 { return s.Violations() })
 }

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"fastsafe/internal/core"
@@ -138,6 +139,43 @@ func TestStrawmanCaughtWithinOneWindow(t *testing.T) {
 	o := runFaulted(t, core.DeferNoShootdown, fault.Campaign(1), 1, 1)
 	if v := o.safety.Violations(); v == 0 {
 		t.Fatalf("defer-noshootdown audited zero violations: %+v", o.safety)
+	}
+}
+
+// TestCapabilityFamilySafetyOrdering is the capability-family analogue
+// of the strict-vs-strawman pair above, swept across FAULT_SEEDS replay
+// schedules: eager cap revokes grants inside the unmap, so like strict
+// it must audit zero stale-served DMAs under every fault schedule, while
+// cap-lazyrevoke batches revocations and must be caught serving through
+// the stale-capability window somewhere in the sweep — and every one of
+// its violations must classify as StaleCapability (the capability family
+// has no IOTLB or ATC to serve stale from).
+func TestCapabilityFamilySafetyOrdering(t *testing.T) {
+	plan := fault.Campaign(1)
+	var lazyStale atomic.Int64
+	t.Run("sweep", func(t *testing.T) {
+		for i := 0; i < faultSeeds(t); i++ {
+			fseed := int64(i + 1)
+			t.Run(fmt.Sprintf("fseed%d", fseed), func(t *testing.T) {
+				t.Parallel()
+				eager := runFaulted(t, core.Cap, plan, 1, fseed)
+				if v := eager.safety.Violations(); v != 0 {
+					t.Fatalf("cap served %d stale DMAs under fseed %d: %+v", v, fseed, eager.safety)
+				}
+				if eager.safety.Checked == 0 {
+					t.Fatal("auditor checked nothing under cap — the sweep is vacuous")
+				}
+				lazy := runFaulted(t, core.CapLazyRevoke, plan, 1, fseed)
+				if got, cap := lazy.safety.Violations(), lazy.safety.StaleCapability; got != cap {
+					t.Fatalf("cap-lazyrevoke violations %d not all stale-capability (%d): %+v",
+						got, cap, lazy.safety)
+				}
+				lazyStale.Add(lazy.safety.StaleCapability)
+			})
+		}
+	})
+	if lazyStale.Load() == 0 {
+		t.Fatal("cap-lazyrevoke audited zero stale-capability serves across the sweep — the lazy window is invisible to the auditor")
 	}
 }
 

@@ -382,7 +382,7 @@ func (h *Host) NewLink() *pcie.Link {
 
 // NewDomain implements device.Host: a protection domain over the shared
 // IOMMU, seeded deterministically per device.
-func (h *Host) NewDomain(cfg core.Config, seedOffset int64) *core.Domain {
+func (h *Host) NewDomain(cfg core.Config, seedOffset int64) (*core.Domain, error) {
 	cfg.SharedIOMMU = h.mmu
 	cfg.Seed = h.cfg.Seed + seedOffset
 	cfg.Faults = h.inj

@@ -186,7 +186,7 @@ func (n *netDev) Attach(dh device.Host) error {
 	}
 	n.h = h
 	cfg := h.cfg
-	n.dom = h.NewDomain(core.Config{
+	dom, err := h.NewDomain(core.Config{
 		Mode:            n.mode,
 		NumCPUs:         n.spec.Cores + n.spec.TxFlows + n.spec.PeerSlots + 8, // slack for app cores
 		DescriptorPages: cfg.DescriptorPages,
@@ -200,6 +200,10 @@ func (n *netDev) Attach(dh device.Host) error {
 		TraceLimit:    cfg.Telemetry.TraceLimit,
 		ATS:           ats.Config{Entries: cfg.ATSEntries},
 	}, n.seedOff)
+	if err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	n.dom = dom
 	// The auditor re-walks device-cached translations too (nil-safe on
 	// both sides: no auditor, or no ATC attached).
 	h.aud.AttachATC(n.dom.ID(), n.dom.ATC())

@@ -52,6 +52,14 @@ type Results struct {
 	Timeouts    int64
 	Retransmits int64
 
+	// Capability-family accounting over the window: DMA validations
+	// against a capability table, grants killed (revokes plus
+	// overwriting re-grants), and DMAs denied for want of a grant. All
+	// zero outside the cap/cap-lazyrevoke modes.
+	CapChecks      int64
+	CapRevocations int64
+	CapDenied      int64
+
 	// Request/response workload outputs.
 	Completed  int64
 	MsgGbps    float64 // completed-exchange payload rate
@@ -111,6 +119,12 @@ type DeviceResults struct {
 	ATSRequests      int64   // translation requests the misses sent to the IOMMU
 	ATCInvalidations int64   // ATC shoot-down requests the host issued
 	StaleATSHits     int64   // hits served while the host mapping was gone
+
+	// Capability-table activity for the device's domain; zero outside
+	// the capability modes.
+	CapChecks      int64
+	CapRevocations int64
+	CapDenied      int64
 
 	// Safety is the device domain's translation audit for the window;
 	// nil unless the auditor ran.
@@ -321,6 +335,9 @@ func (h *Host) results(before, after snapshot) Results {
 	r.StaleIOTLB = after.mmu.StaleIOTLBUses - before.mmu.StaleIOTLBUses
 	r.StalePT = after.mmu.StalePTUses - before.mmu.StalePTUses
 	r.InvRequests = after.mmu.InvRequests - before.mmu.InvRequests
+	r.CapChecks = after.mmu.CapChecks - before.mmu.CapChecks
+	r.CapRevocations = after.mmu.CapRevocations - before.mmu.CapRevocations
+	r.CapDenied = after.mmu.CapDenied - before.mmu.CapDenied
 	r.Retransmits = after.sndRtx - before.sndRtx
 	r.Timeouts = after.sndTo - before.sndTo
 	r.Completed = after.msgDone - before.msgDone
@@ -357,6 +374,10 @@ func (h *Host) results(before, after snapshot) Results {
 			ATSRequests:      a.mmu.ATSRequests - b.mmu.ATSRequests,
 			ATCInvalidations: a.mmu.ATCInvRequests - b.mmu.ATCInvRequests,
 			StaleATSHits:     a.ats.StaleHits - b.ats.StaleHits,
+
+			CapChecks:      a.mmu.CapChecks - b.mmu.CapChecks,
+			CapRevocations: a.mmu.CapRevocations - b.mmu.CapRevocations,
+			CapDenied:      a.mmu.CapDenied - b.mmu.CapDenied,
 		}
 		if dr.ATSLookups > 0 {
 			dr.ATSHitRate = float64(a.ats.Hits-b.ats.Hits) / float64(dr.ATSLookups)

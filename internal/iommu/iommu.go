@@ -75,6 +75,16 @@ type Counters struct {
 	ATSRequests    int64
 	ATCInvRequests int64
 	ATCInvalidated int64
+
+	// Capability-family accounting. CapChecks counts DMA validations
+	// against a per-domain capability table (each replaces an IOTLB
+	// lookup + walk); CapRevocations counts grants killed — by explicit
+	// revoke or by an overwriting re-grant; CapDenied counts DMAs
+	// blocked because no capability covered the address. All three stay
+	// zero outside the cap/cap-lazyrevoke modes.
+	CapChecks      int64
+	CapRevocations int64
+	CapDenied      int64
 }
 
 // Translation is the outcome of translating one PCIe transaction's IOVA.
@@ -85,6 +95,7 @@ type Translation struct {
 	MemReads int  // page-table reads performed (0 on IOTLB hit)
 	Stale    bool // served by a stale IOTLB entry (safety violation)
 	ATC      bool // served by a device-side ATS translation cache
+	Cap      bool // validated against a capability table, not a walk
 }
 
 // DomainID names one protection domain: one device's IOVA space and IO
@@ -109,6 +120,10 @@ type IOMMU struct {
 	// device layer reports. Every counter increment lands in both, so
 	// summing CountersOf over Domains always reproduces Counters.
 	perDom map[DomainID]*Counters
+	// capTables routes capability domains' translations: when a domain
+	// has one, its DMAs validate against it and never touch the caches
+	// or walkers. Grants are driver state — ResetCounters keeps them.
+	capTables map[DomainID]*CapTable
 	// audit, when set, observes every completed translation after the
 	// counters are charged. The hook must not mutate IOMMU or table
 	// state — it is a ground-truth check, not part of the pipeline.
@@ -227,6 +242,10 @@ func (m *IOMMU) chargeDomain(d DomainID, before Counters) {
 	dc.ATSRequests += after.ATSRequests - before.ATSRequests
 	dc.ATCInvRequests += after.ATCInvRequests - before.ATCInvRequests
 	dc.ATCInvalidated += after.ATCInvalidated - before.ATCInvalidated
+	dc.CapChecks += after.CapChecks - before.CapChecks
+	dc.CapDenied += after.CapDenied - before.CapDenied
+	// CapRevocations is charged directly at the grant/revoke sites (they
+	// are driver-initiated, not translation-pipeline events).
 }
 
 // ChargeATSRequest accounts one ATS translation request from domain d's
@@ -277,6 +296,11 @@ func (m *IOMMU) TranslateIn(d DomainID, v ptable.IOVA) Translation {
 }
 
 func (m *IOMMU) translateIn(d DomainID, v ptable.IOVA) Translation {
+	// Capability domains bypass the walk pipeline entirely: one O(1)
+	// table check, no cache state, no memory reads.
+	if ct := m.capTables[d]; ct != nil {
+		return ct.check(v)
+	}
 	table := m.tables[d]
 	m.c.Translations++
 	pn := domKey(d, v.PageNumber())

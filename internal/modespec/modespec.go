@@ -8,7 +8,6 @@ package modespec
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -17,27 +16,11 @@ import (
 )
 
 // Valid returns the accepted mode names: the presentation modes in
-// core.Modes() order, then the audit-only strawmen (sorted) that parse
-// but are excluded from sweeps.
+// core.Modes() order, then the modes kept out of sweeps (strawmen and
+// the capability family), sorted. Delegates to the one shared name
+// table in core so the two parsers can never drift.
 func Valid() []string {
-	names := make([]string, 0, len(core.Modes())+1)
-	seen := map[string]bool{}
-	for _, m := range core.Modes() {
-		names = append(names, m.String())
-		seen[m.String()] = true
-	}
-	var extra []string
-	for m := core.Off; ; m++ {
-		s := m.String()
-		if strings.HasPrefix(s, "mode(") {
-			break
-		}
-		if !seen[s] {
-			extra = append(extra, s)
-		}
-	}
-	sort.Strings(extra)
-	return append(names, extra...)
+	return core.ValidModeNames()
 }
 
 func parse(s, what string) (core.Mode, error) {

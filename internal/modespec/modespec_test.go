@@ -156,4 +156,51 @@ func TestValidCoversModesAndStrawmen(t *testing.T) {
 	if _, ok := index[core.DeferNoShootdown.String()]; !ok {
 		t.Fatal("strawman mode missing from Valid()")
 	}
+	for _, m := range []core.Mode{core.Cap, core.CapLazyRevoke} {
+		if _, ok := index[m.String()]; !ok {
+			t.Fatalf("capability mode %v missing from Valid()", m)
+		}
+	}
+}
+
+// TestCapabilityModesParseInBothRoles: the capability family must parse
+// as a host mode and as a per-device override, even though Modes()
+// sweeps exclude it.
+func TestCapabilityModesParseInBothRoles(t *testing.T) {
+	for name, want := range map[string]core.Mode{
+		"cap": core.Cap, "cap-lazyrevoke": core.CapLazyRevoke,
+	} {
+		m, err := Host(name)
+		if err != nil || m != want {
+			t.Fatalf("Host(%q) = %v, %v; want %v", name, m, err, want)
+		}
+		dm, err := Device(name)
+		if err != nil || dm == nil || *dm != want {
+			t.Fatalf("Device(%q) = %v, %v; want %v", name, dm, err, want)
+		}
+	}
+}
+
+// TestRejectionNamesCapabilityModes: both parsers' rejection messages
+// must list the capability modes among the valid names, so the family is
+// discoverable from a typo.
+func TestRejectionNamesCapabilityModes(t *testing.T) {
+	for _, junk := range []string{"capability", "cap-lazy"} {
+		_, err := Host(junk)
+		if err == nil {
+			t.Fatalf("Host(%q) accepted", junk)
+		}
+		for _, want := range []string{"cap", "cap-lazyrevoke"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("Host(%q) error %q does not name %q", junk, err, want)
+			}
+		}
+		_, err = Device(junk)
+		if err == nil {
+			t.Fatalf("Device(%q) accepted", junk)
+		}
+		if !strings.Contains(err.Error(), "cap-lazyrevoke") {
+			t.Fatalf("Device(%q) error %q does not name the capability modes", junk, err)
+		}
+	}
 }

@@ -18,10 +18,14 @@ func newDirectHarness(t *testing.T, mode core.Mode, atsEntries int, cfg Config) 
 	if cfg.Cores == 0 {
 		cfg.Cores = 1
 	}
-	h.dom = core.NewDomain(core.Config{
+	dom, err := core.NewDomain(core.Config{
 		Mode: mode, NumCPUs: cfg.Cores, DescriptorPages: 8,
 		ATS: ats.Config{Entries: atsEntries},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.dom = dom
 	h.rx = pcie.New(h.eng, 65, 197, 128)
 	h.tx = pcie.New(h.eng, 65, 197, 128)
 	n, err := New(h.eng, cfg, h.dom, h.rx, h.tx, &instantExec{h.eng})

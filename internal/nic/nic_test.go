@@ -36,7 +36,11 @@ func newHarness(t *testing.T, mode core.Mode, cfg Config) *harness {
 	if cfg.Cores == 0 {
 		cfg.Cores = 1
 	}
-	h.dom = core.NewDomain(core.Config{Mode: mode, NumCPUs: cfg.Cores, DescriptorPages: 64})
+	dom, err := core.NewDomain(core.Config{Mode: mode, NumCPUs: cfg.Cores, DescriptorPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.dom = dom
 	h.rx = pcie.New(h.eng, 65, 197, 128)
 	h.tx = pcie.New(h.eng, 65, 197, 128)
 	n, err := New(h.eng, cfg, h.dom, h.rx, h.tx, &instantExec{h.eng})
