@@ -5,7 +5,8 @@ GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline \
 	faults bench-faults bench-cluster bench-clusterscale bench-rdma \
-	bench-capability scale-gate cover golden-check lint ci
+	bench-capability bench-serving churn-gauntlet scale-gate cover \
+	golden-check lint ci
 
 all: build
 
@@ -58,6 +59,9 @@ bench-rdma:
 bench-capability:
 	$(GO) run ./cmd/fsbench -fig capability -quick -json > BENCH_capability.json
 
+bench-serving:
+	$(GO) run ./cmd/fsbench -fig serving -quick -json > BENCH_serving.json
+
 # The CI cluster-scale gate: asserts the sharded engine's >= 1.5x
 # wall-clock speedup at 4 shards / 64 hosts. Needs >= 4 idle cores; the
 # test skips itself otherwise.
@@ -69,6 +73,14 @@ scale-gate:
 # nightly schedule 1024; default 8 keeps local runs quick).
 faults: bench-faults
 	$(GO) test -run 'TestReplayDeterminism|TestStrictSafetyModesNeverServeStale|TestStrawmanCaughtWithinOneWindow|TestCapabilityFamilySafetyOrdering' ./internal/fault
+
+# The serving-gauntlet CI job: serving figure, cohort-vs-exact
+# equivalence under the race detector, and the churn fault campaign
+# (strict/fns/cap at churn 0.3, zero stale-served DMAs). FAULT_SEEDS
+# widens the campaign exactly like `faults`.
+churn-gauntlet: bench-serving
+	$(GO) test -race -run 'TestCohortExactEquivalence|TestServingDeterminismAndReplay|TestGroupingInvariance|TestDeterministicReplay' ./internal/host ./internal/cohort
+	$(GO) test -run TestServingChurnFaultCampaign ./internal/host
 
 # Coverage with the CI ratchet: fails when total statement coverage falls
 # below ci/coverage_floor.txt. Bump the floor when coverage rises.
@@ -104,4 +116,4 @@ lint:
 		echo "lint: govulncheck not installed, skipping" >&2; \
 	fi
 
-ci: build vet fmt-check lint test race bench faults cover golden-check
+ci: build vet fmt-check lint test race bench faults churn-gauntlet cover golden-check

@@ -13,6 +13,19 @@
 //	fssim -hosts 4 -traffic alltoall -oversub 2   # oversubscribed core
 //	fssim -hosts 64 -shards 4 -traffic pairs  # conservative-parallel engine
 //	fssim -hosts 8 -traffic pairs -rdma write -atsentries 1024   # one-sided
+//	fssim -mode fns -serve -churn 0.3 -conns 48      # serving-fleet churn
+//	fssim -mode strict -serve -churn 0.5 -cohort 8 -audit   # aggregated cohorts
+//
+// -serve replaces the bulk iperf flows with the serving-fleet churn
+// scenario: -conns open-loop connections with Poisson arrivals and
+// bounded-Pareto request/response sizes, each dying with probability
+// -churn per request and reborn with a fresh DMA buffer (so map/unmap
+// and IOVA alloc/free rates scale with churn). -cohort K aggregates K
+// connections per simulated flow-aggregate — counters and goodput stay
+// identical to the exact per-flow model; only latency attribution is
+// shared. -flows still attaches bulk flows next to the fleet when set
+// explicitly. The serving line (requests served, goodput, latency
+// tails, deaths, expiries) prints after the host line.
 //
 // -shards N splits a cluster run across N engine shards executed with
 // conservative parallel DES (results stay deterministic and independent
@@ -107,6 +120,10 @@ func main() {
 	shards := flag.Int("shards", 1, "cluster engine shards for conservative-parallel execution (1: single engine)")
 	rdma := flag.String("rdma", "", "cluster peer-flow verb: sendrecv|read|write (default sendrecv; read/write are one-sided)")
 	atsentries := flag.String("atsentries", "", "device-TLB (ATS cache) entries per device; 0 or empty disables the device cache")
+	serve := flag.Bool("serve", false, "run the serving-fleet churn scenario instead of bulk flows")
+	churn := flag.String("churn", "0.2", "serving-fleet per-request connection death probability, in (0, 1]")
+	conns := flag.String("conns", "48", "serving-fleet connection count")
+	cohortSize := flag.String("cohort", "1", "connections per aggregated flow cohort (1: exact per-flow model)")
 	flag.Parse()
 
 	m, err := modespec.Host(*mode)
@@ -162,6 +179,50 @@ func main() {
 	}
 	multidev := nStorage+*nics > 0
 
+	var serveCfg *host.ServeConfig
+	if *serve {
+		ch, err := modespec.Churn(*churn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fssim:", err)
+			os.Exit(2)
+		}
+		nc, err := modespec.Conns(*conns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fssim:", err)
+			os.Exit(2)
+		}
+		k, err := modespec.CohortSize(*cohortSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fssim:", err)
+			os.Exit(2)
+		}
+		serveCfg = &host.ServeConfig{Conns: nc, Churn: ch, Cohort: k}
+		// The fleet is the workload: drop the default bulk flows unless
+		// the user asked for them explicitly.
+		flowsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "flows" {
+				flowsSet = true
+			}
+		})
+		if !flowsSet {
+			*flows = -1
+		}
+	} else {
+		for name, val := range map[string]string{"churn": *churn, "conns": *conns, "cohort": *cohortSize} {
+			set := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == name {
+					set = true
+				}
+			})
+			if set {
+				fmt.Fprintf(os.Stderr, "fssim: -%s %s needs -serve (the serving-fleet churn scenario)\n", name, val)
+				os.Exit(2)
+			}
+		}
+	}
+
 	var sampleEvery sim.Duration
 	if *timeline {
 		if *sampleus <= 0 {
@@ -183,6 +244,7 @@ func main() {
 			Seed:            s,
 			MemHogGBps:      *memhog,
 			Topology:        topo,
+			Serve:           serveCfg,
 			Faults:          plan,
 			FaultSeed:       *faultseed,
 			Audit:           *audit,
@@ -231,6 +293,9 @@ func main() {
 			fmt.Printf("%3.0f%% ", u*100)
 		}
 		fmt.Println()
+		if r.ServeLatency != nil {
+			printServing("serving", r)
+		}
 		if r.Safety != nil {
 			fmt.Printf("safety: %s (%d faults injected)\n", r.Safety, r.FaultsInjected)
 		}
@@ -288,11 +353,22 @@ func runCluster(hosts int, traffic string, flowsPerPair int, fabricGbps, oversub
 		}
 		fmt.Println(r)
 		for j, hr := range r.Hosts {
+			if hr.ServeLatency != nil {
+				printServing(fmt.Sprintf("host%d serving", j), hr)
+			}
 			if hr.Safety != nil {
 				fmt.Printf("host%d safety: %s\n", j, hr.Safety)
 			}
 		}
 	}
+}
+
+// printServing renders one host's serving-fleet line: completions,
+// goodput, latency tails and churn accounting.
+func printServing(label string, r host.Results) {
+	us := func(q float64) float64 { return float64(r.ServeLatency.Quantile(q)) / 1e3 }
+	fmt.Printf("%s: served=%d goodput=%.1fGbps p50=%.1fus p99=%.1fus p999=%.1fus deaths=%d expired=%d\n",
+		label, r.ServeCompleted, r.ServeGbps, us(0.50), us(0.99), us(0.999), r.ServeDeaths, r.ServeExpired)
 }
 
 // printTimeline renders the sampled series as wide CSV: one row per

@@ -119,6 +119,28 @@ type Options struct {
 	// request, faults fall back to PRI, and every unmap additionally
 	// shoots the device cache down through the invalidation queue.
 	ATSEntries int
+
+	// Serve enables the serving-fleet churn scenario: an open-loop fleet
+	// of heavy-tailed request/response connections replaces the bulk
+	// iperf flows (unless Flows is set explicitly). nil disables it.
+	Serve *ServeOptions
+}
+
+// ServeOptions configures the serving-fleet churn workload: open-loop
+// Poisson arrivals, bounded-Pareto request/response sizes, and
+// connection churn — each connection dies with probability Churn per
+// request and is reborn with a fresh DMA buffer, so IOVA alloc/free and
+// (un)map rates scale with the churn rate.
+type ServeOptions struct {
+	// Conns is the number of open-loop connections (>= 1).
+	Conns int
+	// Churn is the per-request connection death probability, in (0, 1].
+	Churn float64
+	// Cohort aggregates that many identical connections into one
+	// flow-aggregate sharing a simulated latency model; 1 (or 0, the
+	// default) simulates every connection exactly. Aggregation never
+	// changes counters or goodput — only latency attribution.
+	Cohort int
 }
 
 // DeviceOptions describes one co-tenant DMA device.
@@ -175,6 +197,18 @@ func (o Options) validate() error {
 			return fmt.Errorf("fastsafe: %w", err)
 		}
 	}
+	if s := o.Serve; s != nil {
+		switch {
+		case s.Conns < 1:
+			return fmt.Errorf("fastsafe: Serve.Conns must be >= 1, got %d", s.Conns)
+		case s.Churn <= 0 || s.Churn > 1:
+			return fmt.Errorf("fastsafe: Serve.Churn must be in (0, 1], got %g (the per-request connection death probability)", s.Churn)
+		case s.Cohort < 0:
+			return fmt.Errorf("fastsafe: Serve.Cohort must be >= 0, got %d (0 and 1 simulate every connection exactly)", s.Cohort)
+		case s.Cohort > s.Conns:
+			return fmt.Errorf("fastsafe: Serve.Cohort must be <= Serve.Conns, got %d > %d", s.Cohort, s.Conns)
+		}
+	}
 	for i, d := range o.Devices {
 		switch d.Kind {
 		case "", "storage":
@@ -226,6 +260,13 @@ type Report struct {
 	// completion latencies over the measurement window.
 	RxDMALatency LatencyReport
 	TxDMALatency LatencyReport
+
+	// Serving-fleet outputs; all zero unless Options.Serve was set.
+	ServeCompleted int64         // requests answered in the window
+	ServeGbps      float64       // request+response goodput
+	ServeDeaths    int64         // connection deaths (churn events)
+	ServeExpired   int64         // requests abandoned after drops
+	ServeLatency   LatencyReport // end-to-end request latency
 
 	// Timeline holds the sampled per-interval series over the measurement
 	// window; empty unless Options.SampleUS was set.
@@ -337,9 +378,21 @@ func hostConfig(o Options) (host.Config, error) {
 			return host.Config{}, fmt.Errorf("fastsafe: %w", err)
 		}
 	}
+	var serve *host.ServeConfig
+	flows := o.Flows
+	if o.Serve != nil {
+		cohortSize := o.Serve.Cohort
+		if cohortSize == 0 {
+			cohortSize = 1
+		}
+		serve = &host.ServeConfig{Conns: o.Serve.Conns, Churn: o.Serve.Churn, Cohort: cohortSize}
+		if flows == 0 {
+			flows = -1 // the fleet is the workload; no bulk flows unless asked
+		}
+	}
 	return host.Config{
 		Mode:        m,
-		RxFlows:     o.Flows,
+		RxFlows:     flows,
 		TxFlows:     o.TxFlows,
 		Cores:       o.Cores,
 		RingPackets: o.RingPackets,
@@ -348,6 +401,7 @@ func hostConfig(o Options) (host.Config, error) {
 		MemHogGBps:  o.MemHogGBps,
 		MemHogStart: sim.Duration(o.MemHogStartMS) * sim.Millisecond,
 		Topology:    topo,
+		Serve:       serve,
 		Faults:      plan,
 		FaultSeed:   o.FaultSeed,
 		Audit:       o.Audit,
@@ -410,6 +464,11 @@ func reportFrom(r host.Results) Report {
 		FaultsInjected:     r.FaultsInjected,
 		RxDMALatency:       latencyReport(r.Latencies.RxDMA),
 		TxDMALatency:       latencyReport(r.Latencies.TxDMA),
+		ServeCompleted:     r.ServeCompleted,
+		ServeGbps:          r.ServeGbps,
+		ServeDeaths:        r.ServeDeaths,
+		ServeExpired:       r.ServeExpired,
+		ServeLatency:       latencyReport(r.ServeLatency),
 	}
 	if r.Safety != nil {
 		rep.Safety = &SafetyReport{

@@ -62,6 +62,13 @@ func TestOptionsValidation(t *testing.T) {
 		{"junk device kind", Options{Devices: []DeviceOptions{{Kind: "gpu"}}}, "Devices[0].Kind"},
 		{"negative device rate", Options{Devices: []DeviceOptions{{Kind: "storage", RateGBps: -4}}}, "Devices[0].RateGBps"},
 		{"junk device mode", Options{Devices: []DeviceOptions{{Mode: "bogus"}}}, "Devices[0]"},
+		{"zero serve conns", Options{Serve: &ServeOptions{Conns: 0, Churn: 0.2}}, "Serve.Conns must be >= 1, got 0"},
+		{"negative serve conns", Options{Serve: &ServeOptions{Conns: -8, Churn: 0.2}}, "Serve.Conns must be >= 1, got -8"},
+		{"zero churn", Options{Serve: &ServeOptions{Conns: 8, Churn: 0}}, "Serve.Churn must be in (0, 1], got 0"},
+		{"negative churn", Options{Serve: &ServeOptions{Conns: 8, Churn: -0.3}}, "Serve.Churn must be in (0, 1], got -0.3"},
+		{"over-unity churn", Options{Serve: &ServeOptions{Conns: 8, Churn: 1.5}}, "Serve.Churn must be in (0, 1], got 1.5"},
+		{"negative cohort", Options{Serve: &ServeOptions{Conns: 8, Churn: 0.2, Cohort: -2}}, "Serve.Cohort must be >= 0, got -2"},
+		{"cohort above conns", Options{Serve: &ServeOptions{Conns: 8, Churn: 0.2, Cohort: 9}}, "Serve.Cohort must be <= Serve.Conns"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -108,6 +115,51 @@ func TestSimulateWithDevices(t *testing.T) {
 		if d.GoodputGbps <= 0 {
 			t.Fatalf("device %s moved no bytes: %+v", d.Name, d)
 		}
+	}
+}
+
+func TestSimulateServing(t *testing.T) {
+	r, err := Simulate(Options{
+		Mode:      FNS,
+		WarmupMS:  1,
+		MeasureMS: 2,
+		Audit:     true,
+		Serve:     &ServeOptions{Conns: 24, Churn: 0.3, Cohort: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ServeCompleted == 0 || r.ServeDeaths == 0 {
+		t.Fatalf("vacuous serving window: %+v", r)
+	}
+	if r.ServeGbps <= 0 {
+		t.Fatalf("serving goodput = %g", r.ServeGbps)
+	}
+	if r.ServeLatency.Count == 0 || r.ServeLatency.P99us <= 0 {
+		t.Fatalf("serving latency report = %+v", r.ServeLatency)
+	}
+	if r.Safety == nil || r.Safety.Violations() != 0 {
+		t.Fatalf("serving safety = %+v", r.Safety)
+	}
+	// Cohort 0 defaults to the exact per-flow model and must reproduce
+	// Cohort 1 exactly.
+	zero, err := Simulate(Options{
+		Mode: FNS, WarmupMS: 1, MeasureMS: 2, Audit: true,
+		Serve: &ServeOptions{Conns: 24, Churn: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Simulate(Options{
+		Mode: FNS, WarmupMS: 1, MeasureMS: 2, Audit: true,
+		Serve: &ServeOptions{Conns: 24, Churn: 0.3, Cohort: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.ServeCompleted != one.ServeCompleted || zero.ServeGbps != one.ServeGbps ||
+		zero.ServeLatency != one.ServeLatency {
+		t.Fatalf("Cohort 0 diverged from Cohort 1:\n%+v\n%+v", zero, one)
 	}
 }
 

@@ -1135,6 +1135,114 @@ func Capability(o Options) Table {
 	return t
 }
 
+// Serving regenerates the serving-fleet churn scenario (extension): an
+// open-loop fleet of 48 heavy-tailed request/response connections per
+// host, each dying with the row's probability per request and reborn
+// with a fresh DMA buffer, so map/unmap and IOVA alloc/free rates scale
+// with churn. The iova_allocs and overflow columns carry the paper's
+// allocator story at production churn: strict's per-buffer alloc/free
+// falls off the rcache fast path into tree allocations (and, at high
+// churn, the depot-overflow flush), inflating its tail latency, while
+// F&S's preserved caches keep the fast path hot and the tails flat; cap
+// pays no page-table walk at all. The cohort8 rows run the same churn
+// 0.2 fleet aggregated 8 connections per flow cohort — every counter
+// column is identical to the exact host row by the cohort package's
+// grouping-invariance contract (only latency attribution is shared).
+// The 8-host rows run the fleet on every host of a pairs cluster next
+// to the pattern's peer flows; tails are the worst host, counts are
+// summed. stale_served must be zero in every row — churn is exactly
+// where a missed invalidation would let a recycled connection buffer be
+// read through a stale translation.
+func Serving(o Options) Table {
+	t := Table{ID: "serving", Title: "Serving-fleet churn: open-loop heavy tails, connection churn, flow cohorts (extension)",
+		Header: []string{"mode", "scope", "churn", "served", "gbps", "p99_us", "p999_us", "deaths", "iova_allocs", "overflow", "checked", "stale_served"}}
+	type cfg struct {
+		mode   core.Mode
+		scope  string // "host", "cohort8", "8-host"
+		churn  float64
+		cohort int
+		hosts  int // 0: single host
+	}
+	var cfgs []cfg
+	for _, mode := range []core.Mode{core.Strict, core.FNS, core.Cap} {
+		for _, ch := range []float64{0.05, 0.2, 0.5} {
+			cfgs = append(cfgs, cfg{mode, "host", ch, 1, 0})
+		}
+		cfgs = append(cfgs, cfg{mode, "cohort8", 0.2, 8, 0})
+	}
+	for _, mode := range []core.Mode{core.Strict, core.FNS, core.Cap} {
+		cfgs = append(cfgs, cfg{mode, "8-host", 0.2, 1, 8})
+	}
+	type cell struct {
+		served, deaths, allocs, overflow, checked, stale int64
+		gbps, p99, p999                                  float64
+	}
+	fold := func(out *cell, r host.Results) {
+		out.served += r.ServeCompleted
+		out.deaths += r.ServeDeaths
+		out.allocs += r.IOVA.TreeAllocs
+		out.overflow += r.IOVA.OverflowFrees
+		out.gbps += r.ServeGbps
+		if r.Safety != nil {
+			out.checked += r.Safety.Checked
+			out.stale += r.Safety.Violations()
+		}
+		if r.ServeLatency == nil { // degenerate zero-length window
+			return
+		}
+		us := func(q float64) float64 { return float64(r.ServeLatency.Quantile(q)) / 1e3 }
+		if p := us(0.99); p > out.p99 {
+			out.p99 = p
+		}
+		if p := us(0.999); p > out.p999 {
+			out.p999 = p
+		}
+	}
+	jobs := make([]runner.Job[cell], len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		jobs[i] = func(context.Context) (cell, error) {
+			serve := &host.ServeConfig{Conns: 48, Churn: c.churn, Cohort: c.cohort}
+			var out cell
+			if c.hosts == 0 {
+				h, err := host.New(host.Config{Mode: c.mode, RxFlows: -1, Audit: true, Serve: serve})
+				if err != nil {
+					return cell{}, err
+				}
+				fold(&out, h.Run(o.Warmup, o.RPCMeasure))
+				return out, nil
+			}
+			cl, err := host.NewCluster(host.ClusterConfig{
+				Hosts:   c.hosts,
+				Traffic: host.Pairs,
+				Host:    host.Config{Mode: c.mode, Audit: true, Serve: serve},
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			r := cl.Run(o.Warmup, o.Measure)
+			for _, hr := range r.Hosts {
+				fold(&out, hr)
+			}
+			return out, nil
+		}
+	}
+	cells, err := runner.Collect(context.Background(), runner.Config{Workers: o.Parallel}, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: serving: %v", err))
+	}
+	for i, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			cfgs[i].mode.String(), cfgs[i].scope, f2(cfgs[i].churn),
+			fmt.Sprintf("%d", c.served), f1(c.gbps), f1(c.p99), f1(c.p999),
+			fmt.Sprintf("%d", c.deaths),
+			fmt.Sprintf("%d", c.allocs), fmt.Sprintf("%d", c.overflow),
+			fmt.Sprintf("%d", c.checked), fmt.Sprintf("%d", c.stale),
+		})
+	}
+	return t
+}
+
 // clusterScaleCell is one (traffic, hosts, shards) configuration of the
 // clusterscale figure.
 type clusterScaleCell struct {
@@ -1245,7 +1353,7 @@ func All(o Options) []Table {
 		Fig12(o), Model(o), Deferred(o), DescriptorSizes(o), CacheSizes(o),
 		Hugepages(o), MemoryLatency(o), Seeds(o), Storage(o), MemoryHog(o),
 		Timeline(o), CPUCost(o), Faults(o), Cluster(o), ClusterScale(o),
-		Rdma(o), Capability(o),
+		Rdma(o), Capability(o), Serving(o),
 	}
 }
 
@@ -1262,6 +1370,7 @@ func ByID(id string, o Options) (Table, error) {
 		"multidev": Multidev, "memhog": MemoryHog, "timeline": Timeline,
 		"cpucost": CPUCost, "faults": Faults, "cluster": Cluster,
 		"clusterscale": ClusterScale, "rdma": Rdma, "capability": Capability,
+		"serving": Serving,
 	}
 	f, ok := fns[id]
 	if !ok {
@@ -1277,6 +1386,6 @@ func IDs() []string {
 		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
 		"model", "modes", "descsize", "ptcache", "huge", "memlat", "seeds",
 		"storage", "multidev", "memhog", "timeline", "cpucost", "faults",
-		"cluster", "clusterscale", "rdma", "capability",
+		"cluster", "clusterscale", "rdma", "capability", "serving",
 	}
 }

@@ -211,6 +211,56 @@ func TestRdmaTrends(t *testing.T) {
 	}
 }
 
+// TestServingTrends locks the serving figure's headline claims: zero
+// stale-served DMAs in every row at every churn rate; strict's IOVA
+// tree-allocation count an order of magnitude above F&S's at every
+// churn level (the preserved-cache story under churn); strict's p99
+// above F&S's in every matching row; and the cohort8 rows' counter
+// columns identical to the exact churn-0.20 host rows (the grouping-
+// invariance contract surfaced in the published table).
+func TestServingTrends(t *testing.T) {
+	tab := Serving(tiny())
+	type row struct {
+		served, deaths, allocs, checked string
+		p99                             float64
+	}
+	rows := map[string]row{} // "mode/scope/churn"
+	for _, r := range tab.Rows {
+		if r[len(r)-1] != "0" {
+			t.Errorf("%s %s churn=%s: stale_served=%s, want 0", r[0], r[1], r[2], r[len(r)-1])
+		}
+		p99, err := strconv.ParseFloat(r[5], 64)
+		if err != nil {
+			t.Fatalf("p99_us %q: %v", r[5], err)
+		}
+		if r[3] == "0" || r[7] == "0" {
+			t.Errorf("%s %s churn=%s: vacuous cell (served=%s deaths=%s)", r[0], r[1], r[2], r[3], r[7])
+		}
+		rows[r[0]+"/"+r[1]+"/"+r[2]] = row{served: r[3], deaths: r[7], allocs: r[8], checked: r[10], p99: p99}
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	for _, churn := range []string{"0.05", "0.20", "0.50"} {
+		strict, fns := rows["strict/host/"+churn], rows["fns/host/"+churn]
+		sa, _ := strconv.ParseInt(strict.allocs, 10, 64)
+		fa, _ := strconv.ParseInt(fns.allocs, 10, 64)
+		if sa < 5*fa {
+			t.Errorf("churn %s: strict iova_allocs %d not well above fns %d", churn, sa, fa)
+		}
+		if strict.p99 <= fns.p99 {
+			t.Errorf("churn %s: strict p99 %.1f not above fns %.1f", churn, strict.p99, fns.p99)
+		}
+	}
+	for _, mode := range []string{"strict", "fns", "cap"} {
+		exact, agg := rows[mode+"/host/0.20"], rows[mode+"/cohort8/0.20"]
+		if exact.served != agg.served || exact.deaths != agg.deaths ||
+			exact.allocs != agg.allocs || exact.checked != agg.checked {
+			t.Errorf("%s: cohort8 counters diverged from exact row: %+v vs %+v", mode, exact, agg)
+		}
+	}
+}
+
 // TestClusterScaleShape runs the clusterscale machinery on a reduced
 // grid: deterministic columns in Rows, wall-clock and speedup in Notes
 // (JSON only — the golden-locked rendering must exclude them).

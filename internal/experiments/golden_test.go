@@ -32,8 +32,11 @@ func goldenOpts() Options {
 // Notes), the rdma figure (one-sided peer flows through the device-side
 // ATS cache, including the strawman's audited stale hits), and the
 // capability figure (the capability-table protection family next to the
-// page-table family, with the lazy-revoke stale window audited).
-var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale", "rdma", "capability"}
+// page-table family, with the lazy-revoke stale window audited), and the
+// serving figure (the open-loop churn fleet — including the cohort8 rows,
+// whose counter columns must stay identical to the exact churn-0.20 host
+// rows by the cohort grouping-invariance contract).
+var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale", "rdma", "capability", "serving"}
 
 // TestGoldenFiguresByteIdentical regenerates each golden figure and
 // requires byte-for-byte identity with the committed file. Regenerate

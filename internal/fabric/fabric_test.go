@@ -181,3 +181,58 @@ func TestSwitchOversubscribedCore(t *testing.T) {
 		}
 	}
 }
+
+// PerHopProp splits the end-to-end budget over 2 hops on a crossbar and
+// 3 when an oversubscribed core adds a shared stage.
+func TestPerHopProp(t *testing.T) {
+	if got := (Config{}).PerHopProp(); got != sim.Microsecond {
+		t.Fatalf("non-blocking PerHopProp = %v, want 1us", got)
+	}
+	// 2us over 3 hops, truncated to whole nanoseconds.
+	if got := (Config{Oversub: 4}).PerHopProp(); got != 666 {
+		t.Fatalf("oversubscribed PerHopProp = %v, want 666ns", got)
+	}
+}
+
+// directRouter posts every cross-shard hop onto one shared engine — the
+// degenerate single-shard topology, enough to drive the sharded Send
+// path end to end.
+type directRouter struct{ eng *sim.Engine }
+
+func (r directRouter) PostPort(src, dst int, gen, at sim.Time, fn func()) { r.eng.At(at, fn) }
+func (r directRouter) PostCore(src int, gen, at sim.Time, fn func())      { r.eng.At(at, fn) }
+
+func TestShardedSwitchRoutesHops(t *testing.T) {
+	if _, err := NewShardedSwitch(2, Config{}, nil, nil, nil); err == nil {
+		t.Fatal("nil router accepted")
+	}
+
+	for _, oversub := range []float64{0, 2} {
+		eng := sim.NewEngine(1)
+		sw, err := NewShardedSwitch(4, Config{Oversub: oversub},
+			func(int) *sim.Engine { return eng }, eng, directRouter{eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oversub > 0 && sw.Core() == nil {
+			t.Fatal("oversubscribed switch has no core link")
+		}
+		if oversub == 0 && sw.Core() != nil {
+			t.Fatal("non-blocking switch grew a core link")
+		}
+		p := sw.Port(1)
+		if p.ID() != 1 || p.Uplink() == nil || p.Downlink() == nil {
+			t.Fatalf("port accessors: id=%d up=%v down=%v", p.ID(), p.Uplink(), p.Downlink())
+		}
+		delivered := false
+		p.Send(3, 4096, func(bool) { delivered = true })
+		eng.Run(sim.Time(1) * sim.Millisecond)
+		if !delivered {
+			t.Fatalf("oversub %g: packet never delivered through the sharded path", oversub)
+		}
+		if sw.Port(3).Downlink().Packets() != 1 {
+			t.Fatalf("oversub %g: destination downlink saw %d packets, want 1",
+				oversub, sw.Port(3).Downlink().Packets())
+		}
+	}
+}

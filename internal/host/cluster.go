@@ -403,6 +403,9 @@ func (c *Cluster) Run(warmup, measure sim.Duration) ClusterResults {
 	for i, h := range c.hosts {
 		h.net.rx.Latency().Reset()
 		h.net.tx.Latency().Reset()
+		if h.serve != nil {
+			h.serve.latency.Reset()
+		}
 		befores[i] = h.snap()
 	}
 	c.run(warmup + measure)

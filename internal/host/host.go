@@ -87,6 +87,13 @@ type Config struct {
 	// all sharing the host's IOMMU.
 	Topology Topology
 
+	// Serve, when non-nil, installs the open-loop serving-fleet workload
+	// (serving.go): Poisson arrivals, heavy-tailed request/response
+	// sizes, connection churn, and cohort aggregation. In a cluster every
+	// host runs its own fleet (seeded per host), colocated with whatever
+	// peer traffic the cluster pattern generates.
+	Serve *ServeConfig
+
 	Transport transport.Params
 	IOMMU     iommu.Config
 	Costs     core.CostModel
@@ -233,7 +240,8 @@ type Host struct {
 
 	cores []*Core
 
-	msgs   *msgApp // request/response machinery (nil unless installed)
+	msgs   *msgApp     // request/response machinery (nil unless installed)
+	serve  *servingApp // open-loop serving fleet (nil unless Config.Serve)
 	walker *pcie.Walker
 	bus    *mem.Bus
 	tele   *Telemetry
@@ -333,6 +341,11 @@ func New(cfg Config) (*Host, error) {
 		}
 	}
 	h.tele = newTelemetry(h)
+	if cfg.Serve != nil {
+		if _, err := h.InstallServing(*cfg.Serve); err != nil {
+			return nil, err
+		}
+	}
 	return h, nil
 }
 
@@ -440,6 +453,9 @@ func (h *Host) Start() {
 	if h.msgs != nil {
 		h.msgs.start()
 	}
+	if h.serve != nil {
+		h.serve.start()
+	}
 	for _, d := range h.devices {
 		if _, ok := d.(*netDev); ok {
 			continue
@@ -465,6 +481,9 @@ func (h *Host) housekeeping() {
 	}
 	if h.msgs != nil {
 		h.msgs.housekeeping(now)
+	}
+	if h.serve != nil {
+		h.serve.housekeeping(now)
 	}
 	for _, n := range h.nets {
 		n.deferredFlush(now)

@@ -503,6 +503,9 @@ func (n *netDev) onDeliver(pkt nic.Packet) {
 	case msgSeg:
 		h.msgs.onDeliver(pkt, p)
 
+	case serveSeg:
+		h.serve.onDeliver(pkt, p)
+
 	default:
 		panic(fmt.Sprintf("host: unknown Rx payload %T", pkt.Payload))
 	}
@@ -555,6 +558,9 @@ func (n *netDev) onTxDone(pkt nic.Packet, m *core.TxMapping) {
 
 	case msgSeg:
 		h.msgs.onTxDone(pkt, p)
+
+	case serveSeg:
+		h.serve.onTxDone(pkt, p)
 
 	default:
 		panic(fmt.Sprintf("host: unknown Tx payload %T", pkt.Payload))

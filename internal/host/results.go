@@ -9,6 +9,7 @@ import (
 	"fastsafe/internal/device"
 	"fastsafe/internal/fault"
 	"fastsafe/internal/iommu"
+	"fastsafe/internal/iova"
 	"fastsafe/internal/nic"
 	"fastsafe/internal/sim"
 	"fastsafe/internal/stats"
@@ -64,7 +65,19 @@ type Results struct {
 	Completed  int64
 	MsgGbps    float64 // completed-exchange payload rate
 	MsgRetries int64
-	Latency    *stats.Histogram // exchange latency (ns), nil without messages
+	Latency    *stats.Histogram // exchange latency (ns), nil without messages or serving
+
+	// Serving-fleet workload outputs (all zero/nil unless Config.Serve).
+	ServeCompleted int64
+	ServeGbps      float64 // request+response payload of completed requests
+	ServeDeaths    int64   // connection deaths (churn events) in the window
+	ServeExpired   int64   // requests abandoned after NIC drops (open loop, no retry)
+	ServeLatency   *stats.Histogram
+
+	// IOVA is the primary NIC domain's allocator activity over the
+	// window: tree vs magazine traffic, depot moves, and the depot-full
+	// overflow path that marks where the rcache stops absorbing churn.
+	IOVA iova.Stats
 
 	// Latencies groups every latency distribution the telemetry layer
 	// collects over the measurement window (all reset at its start).
@@ -194,6 +207,11 @@ type snapshot struct {
 	msgDone int64
 	msgByte int64
 	msgRtry int64
+	srvDone int64
+	srvByte int64
+	srvDead int64
+	srvExp  int64
+	iovaSt  iova.Stats
 }
 
 func (h *Host) snap() snapshot {
@@ -248,6 +266,13 @@ func (h *Host) snap() snapshot {
 		s.msgByte = h.msgs.completedBytes
 		s.msgRtry = h.msgs.retries
 	}
+	if h.serve != nil {
+		s.srvDone = h.serve.completed
+		s.srvByte = h.serve.completedBytes
+		s.srvDead = h.serve.fleet.Deaths()
+		s.srvExp = h.serve.expired
+	}
+	s.iovaSt = h.net.dom.AllocatorStats()
 	return s
 }
 
@@ -258,6 +283,9 @@ func (h *Host) Run(warmup, measure sim.Duration) Results {
 	h.eng.Run(warmup)
 	if h.msgs != nil {
 		h.msgs.latency.Reset()
+	}
+	if h.serve != nil {
+		h.serve.latency.Reset()
 	}
 	// Latency histograms measure the window only; counters are diffed via
 	// snapshots instead, so only the sample sinks reset here.
@@ -279,10 +307,12 @@ func (h *Host) results(before, after snapshot) Results {
 	rxBytes := after.hostC.rxDeliveredBytes - before.hostC.rxDeliveredBytes
 	txBytes := after.hostC.txDeliveredBytes - before.hostC.txDeliveredBytes
 	msgBytes := after.msgByte - before.msgByte
+	srvBytes := after.srvByte - before.srvByte
 
 	r.RxGbps = stats.Gbps(rxBytes, int64(dt))
 	r.TxGbps = stats.Gbps(txBytes, int64(dt))
 	r.MsgGbps = stats.Gbps(msgBytes, int64(dt))
+	r.ServeGbps = stats.Gbps(srvBytes, int64(dt))
 	if h.msgs != nil {
 		// Message payload travels the Rx path in both patterns' bulk
 		// direction measurements; fold it into RxGbps for the LocalClient
@@ -301,7 +331,7 @@ func (h *Host) results(before, after snapshot) Results {
 		r.MarkRate = float64(marked) / float64(arrived)
 	}
 
-	pages := float64(rxBytes+txBytes+msgBytes) / 4096
+	pages := float64(rxBytes+txBytes+msgBytes+srvBytes) / 4096
 	if pages <= 0 {
 		pages = 1
 	}
@@ -342,6 +372,10 @@ func (h *Host) results(before, after snapshot) Results {
 	r.Timeouts = after.sndTo - before.sndTo
 	r.Completed = after.msgDone - before.msgDone
 	r.MsgRetries = after.msgRtry - before.msgRtry
+	r.ServeCompleted = after.srvDone - before.srvDone
+	r.ServeDeaths = after.srvDead - before.srvDead
+	r.ServeExpired = after.srvExp - before.srvExp
+	r.IOVA = after.iovaSt.Sub(before.iovaSt)
 	if h.msgs != nil {
 		r.Latency = &h.msgs.latency
 	}
@@ -349,6 +383,12 @@ func (h *Host) results(before, after snapshot) Results {
 		RPC:   r.Latency,
 		RxDMA: h.net.rx.Latency(),
 		TxDMA: h.net.tx.Latency(),
+	}
+	if h.serve != nil {
+		r.ServeLatency = &h.serve.latency
+		if r.Latency == nil {
+			r.Latency = r.ServeLatency
+		}
 	}
 	if h.tele != nil && h.tele.sampler != nil {
 		r.Timeline = h.tele.sampler.SeriesWindow(before.at, after.at)

@@ -27,6 +27,27 @@ type Stats struct {
 	CacheAllocs  int64 // allocations served by a per-CPU magazine
 	CacheFrees   int64 // frees absorbed by a per-CPU magazine
 	DepotMoves   int64 // magazines moved to/from the global depot
+	// The depot-full overflow path: when a CPU's magazines and the global
+	// depot are all full, the loaded magazine is flushed back to the tree
+	// — the rcache has stopped absorbing the free rate and every flushed
+	// range pays tree cost again. OverflowFlushes counts magazine flushes,
+	// OverflowFrees the individual ranges they returned to the tree.
+	OverflowFlushes int64
+	OverflowFrees   int64
+}
+
+// Sub returns the per-field difference s - b (for measurement windows).
+func (s Stats) Sub(b Stats) Stats {
+	return Stats{
+		TreeAllocs:      s.TreeAllocs - b.TreeAllocs,
+		TreeFrees:       s.TreeFrees - b.TreeFrees,
+		NodesVisited:    s.NodesVisited - b.NodesVisited,
+		CacheAllocs:     s.CacheAllocs - b.CacheAllocs,
+		CacheFrees:      s.CacheFrees - b.CacheFrees,
+		DepotMoves:      s.DepotMoves - b.DepotMoves,
+		OverflowFlushes: s.OverflowFlushes - b.OverflowFlushes,
+		OverflowFrees:   s.OverflowFrees - b.OverflowFrees,
+	}
 }
 
 // TreeAllocator allocates IOVA ranges top-down from the top of the 48-bit
@@ -285,9 +306,11 @@ func (a *CachedAllocator) Free(cpu int, base ptable.IOVA, pages int) {
 			a.stats.DepotMoves++
 		} else {
 			// Depot full: flush the loaded magazine back to the tree.
+			a.stats.OverflowFlushes++
 			for !pc.loaded.empty() {
 				pfn := pc.loaded.pop()
 				a.base.Free(cpu, ptable.IOVA(pfn<<ptable.PageShift), pages)
+				a.stats.OverflowFrees++
 			}
 		}
 	}

@@ -287,6 +287,44 @@ func TestCachedDepotFullFlushesToTree(t *testing.T) {
 	}
 }
 
+func TestOverflowCountersTrackDepotFullFlushes(t *testing.T) {
+	a := NewCached(1)
+	// Capacity before overflow: loaded + prev + MaxGlobalMags magazines.
+	n := (MaxGlobalMags + 4) * MagSize
+	var vs []ptable.IOVA
+	for i := 0; i < n; i++ {
+		v, ok := a.Alloc(0, 1)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		vs = append(vs, v)
+	}
+	for _, v := range vs[:2*MagSize] {
+		a.Free(0, v, 1)
+	}
+	if s := a.Stats(); s.OverflowFlushes != 0 || s.OverflowFrees != 0 {
+		t.Fatalf("overflow counters moved before the depot filled: %+v", s)
+	}
+	for _, v := range vs[2*MagSize:] {
+		a.Free(0, v, 1)
+	}
+	s := a.Stats()
+	if s.OverflowFlushes == 0 {
+		t.Fatal("depot-full flushes not counted")
+	}
+	if want := s.OverflowFlushes * MagSize; s.OverflowFrees != want {
+		t.Fatalf("OverflowFrees = %d, want %d (MagSize per flushed magazine)", s.OverflowFrees, want)
+	}
+	if s.TreeFrees != s.OverflowFrees {
+		t.Fatalf("every overflow free must hit the tree: tree %d vs overflow %d", s.TreeFrees, s.OverflowFrees)
+	}
+	// Sub diffs field-wise, including the new counters.
+	d := s.Sub(Stats{OverflowFlushes: 1, OverflowFrees: MagSize, CacheFrees: 10})
+	if d.OverflowFlushes != s.OverflowFlushes-1 || d.OverflowFrees != s.OverflowFrees-MagSize || d.CacheFrees != s.CacheFrees-10 {
+		t.Fatalf("Stats.Sub wrong: %+v", d)
+	}
+}
+
 func TestCachedLargeSizesBypassCache(t *testing.T) {
 	a := NewCached(1)
 	v, ok := a.Alloc(0, 128) // order 7, above MaxCachedOrder

@@ -18,4 +18,6 @@ func RegisterProbes(r *stats.Registry, prefix string, src func() Stats) {
 	probe("cache_allocs", func(s Stats) int64 { return s.CacheAllocs })
 	probe("cache_frees", func(s Stats) int64 { return s.CacheFrees })
 	probe("depot_moves", func(s Stats) int64 { return s.DepotMoves })
+	probe("overflow_flushes", func(s Stats) int64 { return s.OverflowFlushes })
+	probe("overflow_frees", func(s Stats) int64 { return s.OverflowFrees })
 }

@@ -76,6 +76,49 @@ func RDMA(s string) (transport.Op, error) {
 	return op, nil
 }
 
+// Churn parses a serving-fleet churn-rate spec: the per-request
+// probability a connection dies and is reborn with a fresh DMA buffer.
+// Must lie in (0, 1] — a zero or negative rate would mean no churn, and
+// the scenario exists to exercise the (un)map path.
+func Churn(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("modespec: churn rate %q is not a number (the per-request connection death probability, in (0, 1])", s)
+	}
+	if f <= 0 || f > 1 {
+		return 0, fmt.Errorf("modespec: churn rate must be in (0, 1], got %g (the per-request connection death probability)", f)
+	}
+	return f, nil
+}
+
+// Conns parses a serving-fleet size spec: the number of open-loop
+// connections, at least 1.
+func Conns(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("modespec: conns %q is not an integer (the serving-fleet connection count, >= 1)", s)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("modespec: conns must be >= 1, got %d", n)
+	}
+	return n, nil
+}
+
+// CohortSize parses a flow-aggregation spec: how many identical
+// connections share one simulated cohort. 1 simulates every connection
+// exactly; larger sizes aggregate latency attribution without changing
+// any counter (the cohort package's grouping-invariance contract).
+func CohortSize(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("modespec: cohort size %q is not an integer (1 simulates every connection exactly)", s)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("modespec: cohort size must be >= 1, got %d (1 simulates every connection exactly)", n)
+	}
+	return n, nil
+}
+
 // ATSEntries parses a device-TLB capacity spec: "" and "0" leave the
 // device cache disabled (translations resolve at the IOMMU and results
 // stay byte-identical to builds without ATS); a positive integer sizes

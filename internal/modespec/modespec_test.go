@@ -135,6 +135,102 @@ func TestATSEntriesRejectionMessages(t *testing.T) {
 	}
 }
 
+func TestChurnParses(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{{"0.05", 0.05}, {"0.3", 0.3}, {"1", 1}} {
+		f, err := Churn(tc.in)
+		if err != nil || f != tc.want {
+			t.Fatalf("Churn(%q) = %g, %v; want %g", tc.in, f, err, tc.want)
+		}
+	}
+}
+
+func TestChurnRejectionMessages(t *testing.T) {
+	_, err := Churn("often")
+	if err == nil {
+		t.Fatal("Churn(\"often\") accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, `churn rate "often" is not a number`) ||
+		!strings.Contains(msg, "death probability") {
+		t.Fatalf("non-number error %q lacks the knob explanation", msg)
+	}
+	for _, bad := range []string{"0", "-0.2", "1.5"} {
+		_, err := Churn(bad)
+		if err == nil {
+			t.Fatalf("Churn(%q) accepted", bad)
+		}
+		if msg := err.Error(); !strings.Contains(msg, "must be in (0, 1], got") {
+			t.Fatalf("out-of-range error %q lacks the bound", msg)
+		}
+	}
+}
+
+func TestConnsParses(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{"1", 1}, {"48", 48}, {"1024", 1024}} {
+		n, err := Conns(tc.in)
+		if err != nil || n != tc.want {
+			t.Fatalf("Conns(%q) = %d, %v; want %d", tc.in, n, err, tc.want)
+		}
+	}
+}
+
+func TestConnsRejectionMessages(t *testing.T) {
+	_, err := Conns("many")
+	if err == nil {
+		t.Fatal("Conns(\"many\") accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, `conns "many" is not an integer`) {
+		t.Fatalf("non-integer error %q lacks the knob explanation", msg)
+	}
+	for _, bad := range []string{"0", "-4"} {
+		_, err := Conns(bad)
+		if err == nil {
+			t.Fatalf("Conns(%q) accepted", bad)
+		}
+		if msg := err.Error(); !strings.Contains(msg, "must be >= 1, got") {
+			t.Fatalf("bound error %q lacks the bound", msg)
+		}
+	}
+}
+
+func TestCohortSizeParses(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{"1", 1}, {"4", 4}, {"64", 64}} {
+		n, err := CohortSize(tc.in)
+		if err != nil || n != tc.want {
+			t.Fatalf("CohortSize(%q) = %d, %v; want %d", tc.in, n, err, tc.want)
+		}
+	}
+}
+
+func TestCohortSizeRejectionMessages(t *testing.T) {
+	_, err := CohortSize("big")
+	if err == nil {
+		t.Fatal("CohortSize(\"big\") accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, `cohort size "big" is not an integer`) ||
+		!strings.Contains(msg, "1 simulates every connection exactly") {
+		t.Fatalf("non-integer error %q lacks the knob explanation", msg)
+	}
+	for _, bad := range []string{"0", "-3"} {
+		_, err := CohortSize(bad)
+		if err == nil {
+			t.Fatalf("CohortSize(%q) accepted", bad)
+		}
+		if msg := err.Error(); !strings.Contains(msg, "must be >= 1, got") ||
+			!strings.Contains(msg, "1 simulates every connection exactly") {
+			t.Fatalf("bound error %q lacks the bound or explanation", msg)
+		}
+	}
+}
+
 func TestValidCoversModesAndStrawmen(t *testing.T) {
 	valid := Valid()
 	index := map[string]int{}

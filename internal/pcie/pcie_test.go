@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fastsafe/internal/sim"
+	"fastsafe/internal/stats"
 )
 
 func TestServiceTimeSerializationFloor(t *testing.T) {
@@ -146,5 +147,64 @@ func TestPrivateWalkersIndependent(t *testing.T) {
 	}
 	if txDone != 65+197 {
 		t.Fatalf("tx done at %v, want 262 (no contention)", txDone)
+	}
+}
+
+// A stalled link holds queued DMAs until the stall passes; shortening
+// an earlier stall is ignored.
+func TestStallHoldsQueuedDMAs(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	l.Stall(1000)
+	l.Stall(500) // shortening is a no-op
+	var doneAt sim.Time = -1
+	l.Submit(4096, 0, func() { doneAt = e.Now() })
+	e.RunAll()
+	// Held until 1000, then 4096*8/128 = 256ns of serialisation.
+	if doneAt != 1256 {
+		t.Fatalf("completed at %v, want 1256", doneAt)
+	}
+	if q := l.Stats().QueueTime; q != 1000 {
+		t.Fatalf("QueueTime = %v, want 1000", q)
+	}
+}
+
+// The latency factor scales per-read walk latency (memory-bandwidth
+// contention), and a single-engine walker floors n at 1.
+func TestWalkerLatencyFactor(t *testing.T) {
+	e := sim.NewEngine(1)
+	w := NewWalkerN(e, 100, 0) // n < 1 floors to one engine
+	w.SetLatencyFactor(func() float64 { return 2 })
+	if got := w.Reserve(1); got != 200 {
+		t.Fatalf("Reserve(1) with 2x factor = %v, want 200", got)
+	}
+	if w.Reads() != 1 {
+		t.Fatalf("Reads = %d, want 1", w.Reads())
+	}
+}
+
+func TestProbesAndLatencyHistogram(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(e, 65, 197, 128)
+	l.Submit(4096, 2, func() {})
+	e.RunAll()
+	if l.Latency().Count() != 1 {
+		t.Fatalf("latency count = %d, want 1", l.Latency().Count())
+	}
+	reg := stats.NewRegistry()
+	l.RegisterProbes(reg, "pcie.rx.")
+	for _, name := range []string{"pcie.rx.dmas", "pcie.rx.bytes", "pcie.rx.mem_reads",
+		"pcie.rx.busy_ns", "pcie.rx.queue_ns", "pcie.rx.outstanding"} {
+		v, ok := reg.Value(name)
+		if !ok {
+			t.Fatalf("probe %s not registered", name)
+		}
+		_ = v
+	}
+	w := NewWalker(e, 197)
+	w.Reserve(3)
+	w.RegisterProbes(reg, "walker.")
+	if v, ok := reg.Value("walker.reads"); !ok || v != 3 {
+		t.Fatalf("walker.reads = %v, %v; want 3, true", v, ok)
 	}
 }

@@ -168,3 +168,20 @@ func SPDK(mode core.Mode, blockBytes int) Spec {
 func RedisAblation(mode core.Mode) Spec {
 	return Redis(mode, 8<<10)
 }
+
+// Serving is the serving-fleet churn scenario: an open-loop fleet of
+// `conns` heavy-tailed request/response connections, each dying with
+// probability `churn` per request and being reborn with a fresh DMA
+// buffer (so (un)map and IOVA alloc/free rates scale with churn).
+// cohortSize > 1 aggregates connections into flow cohorts that share one
+// simulated latency model; 1 simulates every connection exactly.
+func Serving(mode core.Mode, conns int, churn float64, cohortSize int) Spec {
+	return Spec{
+		Name: "serving",
+		Host: host.Config{
+			Mode:    mode,
+			RxFlows: -1, // the open-loop fleet is the workload; no bulk flows
+			Serve:   &host.ServeConfig{Conns: conns, Churn: churn, Cohort: cohortSize},
+		},
+	}
+}

@@ -95,6 +95,39 @@ func TestSPDKSpecRuns(t *testing.T) {
 	}
 }
 
+func TestServingSpecRuns(t *testing.T) {
+	s := Serving(core.FNS, 24, 0.3, 4)
+	s.Host.Audit = true
+	s.Warmup = 1 * sim.Millisecond
+	s.Measure = 2 * sim.Millisecond
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ServeCompleted == 0 || r.ServeDeaths == 0 {
+		t.Fatalf("vacuous serving window (served=%d deaths=%d)", r.ServeCompleted, r.ServeDeaths)
+	}
+	if r.Safety == nil || r.Safety.Violations() != 0 {
+		t.Fatalf("serving safety audit: %+v", r.Safety)
+	}
+	if r.Latency == nil || r.Latency.Count() == 0 {
+		t.Fatal("no serving latency samples")
+	}
+}
+
+func TestServingSpecRejectsBadChurn(t *testing.T) {
+	for _, s := range []Spec{
+		Serving(core.FNS, 0, 0.3, 1),
+		Serving(core.FNS, 8, 0, 1),
+		Serving(core.FNS, 8, 1.5, 1),
+		Serving(core.FNS, 8, 0.3, 0),
+	} {
+		if _, err := s.Run(); err == nil {
+			t.Errorf("Serving spec %+v accepted", s.Host.Serve)
+		}
+	}
+}
+
 func TestRedisStrictSlowerThanFNS(t *testing.T) {
 	// Figure 11a's headline: enabling default protection costs throughput;
 	// F&S recovers it.
