@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench bench-multidev bench-timeline \
 	faults bench-faults bench-cluster bench-clusterscale bench-rdma \
-	bench-capability bench-serving churn-gauntlet scale-gate cover \
+	bench-capability bench-serving bench-adaptive churn-gauntlet scale-gate cover \
 	golden-check lint ci
 
 all: build
@@ -61,6 +61,9 @@ bench-capability:
 
 bench-serving:
 	$(GO) run ./cmd/fsbench -fig serving -quick -json > BENCH_serving.json
+
+bench-adaptive:
+	$(GO) run ./cmd/fsbench -fig adaptive -quick -json > BENCH_adaptive.json
 
 # The CI cluster-scale gate: asserts the sharded engine's >= 1.5x
 # wall-clock speedup at 4 shards / 64 hosts. Needs >= 4 idle cores; the

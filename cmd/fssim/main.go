@@ -109,6 +109,7 @@ func main() {
 	storagedevs := flag.Int("storagedevs", 0, "co-tenant storage devices (default 1 when -storage is set)")
 	nics := flag.Int("nics", 0, "extra co-tenant NIC datapaths")
 	devmode := flag.String("devmode", "", "co-tenant device protection mode (default: -mode)")
+	controlSpec := flag.String("control", "", "adaptive control plane: ';'-separated rules like \"guard,metric=audit.blocked,high=1,low=0,safe=strict,fast=fns,cooldown=2ms\" plus optional every=<dur>")
 	faults := flag.String("faults", "", "fault plan: campaign intensity or key=value spec (implies -audit)")
 	faultseed := flag.Int64("faultseed", 0, "fault-injector seed (0: inherit -seed)")
 	audit := flag.Bool("audit", false, "cross-check every DMA translation against the live page table")
@@ -155,6 +156,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fssim:", err)
 			os.Exit(2)
 		}
+	}
+	ctl, err := modespec.Control(*controlSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fssim:", err)
+		os.Exit(2)
 	}
 
 	devMode, err := modespec.Device(*devmode)
@@ -245,6 +251,7 @@ func main() {
 			MemHogGBps:      *memhog,
 			Topology:        topo,
 			Serve:           serveCfg,
+			Control:         ctl,
 			Faults:          plan,
 			FaultSeed:       *faultseed,
 			Audit:           *audit,
@@ -298,6 +305,12 @@ func main() {
 		}
 		if r.Safety != nil {
 			fmt.Printf("safety: %s (%d faults injected)\n", r.Safety, r.FaultsInjected)
+		}
+		if len(r.Control) > 0 {
+			fmt.Printf("control: %d mode switches\n", len(r.Control))
+			for _, d := range r.Control {
+				fmt.Printf("  %s\n", d)
+			}
 		}
 		if multidev {
 			fmt.Println(r.DeviceTable())

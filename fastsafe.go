@@ -111,6 +111,22 @@ type Options struct {
 	// simulated time — the auditor is an observer).
 	Audit bool
 
+	// Control installs the adaptive protection control plane: a
+	// deterministic rule engine on the virtual clock that watches the
+	// telemetry registry and switches each NIC domain's protection mode
+	// through a safe transition protocol. The spec is ';'-separated
+	// rule segments plus an optional evaluation period, e.g.
+	//
+	//	"every=500us;guard,metric=audit.blocked,high=1,low=0,safe=strict,fast=fns,cooldown=2ms"
+	//
+	// A guard rule escalates to its safe mode while the watched
+	// counter's per-tick delta crosses high and relaxes at low; a
+	// pressure rule watches a level the same way toward its fast mode.
+	// Empty disables the control plane and leaves every simulation
+	// byte-identical to a build without it. Decisions land in
+	// Report.ModeSwitches.
+	Control string
+
 	// ATSEntries sizes each device's ATS translation cache (the device
 	// TLB) in 4KB entries. 0, the default, attaches no device cache:
 	// every DMA translates at the IOMMU and results are byte-identical
@@ -197,6 +213,11 @@ func (o Options) validate() error {
 			return fmt.Errorf("fastsafe: %w", err)
 		}
 	}
+	if o.Control != "" {
+		if _, err := modespec.Control(o.Control); err != nil {
+			return fmt.Errorf("fastsafe: %w", err)
+		}
+	}
 	if s := o.Serve; s != nil {
 		switch {
 		case s.Conns < 1:
@@ -249,6 +270,11 @@ type Report struct {
 	StaleIOTLBUses int64
 	StalePTUses    int64
 
+	// ModeSwitches is the control plane's applied-decision log over the
+	// whole run, in virtual-time order; empty unless Options.Control
+	// installed a controller.
+	ModeSwitches []ModeSwitch
+
 	// FaultsInjected counts the faults the injector fired inside the
 	// measurement window (zero without Options.Faults).
 	FaultsInjected int64
@@ -275,6 +301,19 @@ type Report struct {
 	// Devices is the per-device breakdown (primary NIC first, then the
 	// co-tenants in Options.Devices order).
 	Devices []DeviceReport
+}
+
+// ModeSwitch is one applied control-plane decision: at AtNS of virtual
+// time, the rule watching Metric (whose observed delta or level was
+// Value) moved Device's protection mode From -> To.
+type ModeSwitch struct {
+	AtNS   int64
+	Device string
+	Rule   string
+	Metric string
+	Value  float64
+	From   Mode
+	To     Mode
 }
 
 // Series is one sampled telemetry metric: Values[i] was recorded at
@@ -378,6 +417,10 @@ func hostConfig(o Options) (host.Config, error) {
 			return host.Config{}, fmt.Errorf("fastsafe: %w", err)
 		}
 	}
+	ctl, err := modespec.Control(o.Control)
+	if err != nil {
+		return host.Config{}, fmt.Errorf("fastsafe: %w", err)
+	}
 	var serve *host.ServeConfig
 	flows := o.Flows
 	if o.Serve != nil {
@@ -402,6 +445,7 @@ func hostConfig(o Options) (host.Config, error) {
 		MemHogStart: sim.Duration(o.MemHogStartMS) * sim.Millisecond,
 		Topology:    topo,
 		Serve:       serve,
+		Control:     ctl,
 		Faults:      plan,
 		FaultSeed:   o.FaultSeed,
 		Audit:       o.Audit,
@@ -469,6 +513,17 @@ func reportFrom(r host.Results) Report {
 		ServeDeaths:        r.ServeDeaths,
 		ServeExpired:       r.ServeExpired,
 		ServeLatency:       latencyReport(r.ServeLatency),
+	}
+	for _, d := range r.Control {
+		rep.ModeSwitches = append(rep.ModeSwitches, ModeSwitch{
+			AtNS:   int64(d.At),
+			Device: d.Domain,
+			Rule:   d.Rule,
+			Metric: d.Metric,
+			Value:  d.Value,
+			From:   Mode(d.From.String()),
+			To:     Mode(d.To.String()),
+		})
 	}
 	if r.Safety != nil {
 		rep.Safety = &SafetyReport{

@@ -69,6 +69,12 @@ func TestOptionsValidation(t *testing.T) {
 		{"over-unity churn", Options{Serve: &ServeOptions{Conns: 8, Churn: 1.5}}, "Serve.Churn must be in (0, 1], got 1.5"},
 		{"negative cohort", Options{Serve: &ServeOptions{Conns: 8, Churn: 0.2, Cohort: -2}}, "Serve.Cohort must be >= 0, got -2"},
 		{"cohort above conns", Options{Serve: &ServeOptions{Conns: 8, Churn: 0.2, Cohort: 9}}, "Serve.Cohort must be <= Serve.Conns"},
+		{"junk control kind", Options{Control: "governor,metric=mem.util"}, `unknown rule kind "governor"`},
+		{"control missing metric", Options{Control: "guard,high=1,low=0,safe=strict,fast=fns"}, "metric must not be empty"},
+		{"control junk mode", Options{Control: "guard,metric=x,high=1,low=0,safe=turbo,fast=fns"}, `safe="turbo"`},
+		{"control inverted thresholds", Options{Control: "guard,metric=x,high=1,low=5,safe=strict,fast=fns"}, "high threshold 1 below low 5"},
+		{"control unswitchable pair", Options{Control: "guard,metric=x,high=1,low=0,safe=strict,fast=persistent"}, "persistent"},
+		{"control junk cooldown", Options{Control: "guard,metric=x,high=1,low=0,safe=strict,fast=fns,cooldown=soon"}, `cooldown="soon"`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -289,6 +295,49 @@ func TestSimulateTimeline(t *testing.T) {
 	plainCmp, refCmp := plain, ref
 	if !reflect.DeepEqual(plainCmp, refCmp) {
 		t.Fatalf("sampling changed the report:\nplain:   %+v\nsampled: %+v", plainCmp, refCmp)
+	}
+}
+
+// TestSimulateControl drives the adaptive control plane end to end
+// through the facade: a windowed burst of device misbehaviour under the
+// audit layer must drop the domain from F&S to strict and recover after
+// the window closes, with the decision log surfaced as ModeSwitches and
+// zero stale-served DMAs across both transitions.
+func TestSimulateControl(t *testing.T) {
+	r, err := Simulate(Options{
+		Mode: FNS, WarmupMS: 2, MeasureMS: 8, Audit: true,
+		Faults:  "campaign=1,straydma=0.05,wilddma=0.03,start=4ms,for=3ms",
+		Control: "guard,metric=audit.blocked,high=1,low=0,safe=strict,fast=fns,cooldown=1ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ModeSwitches) < 2 {
+		t.Fatalf("ModeSwitches = %d, want >= 2: %+v", len(r.ModeSwitches), r.ModeSwitches)
+	}
+	first, last := r.ModeSwitches[0], r.ModeSwitches[len(r.ModeSwitches)-1]
+	if first.From != FNS || first.To != Strict {
+		t.Fatalf("first switch %+v, want fns->strict", first)
+	}
+	if last.From != Strict || last.To != FNS {
+		t.Fatalf("last switch %+v, want strict->fns", last)
+	}
+	if first.AtNS < 4e6 || first.AtNS > 7e6 {
+		t.Fatalf("fallback at %dns, want inside the 4-7ms burst", first.AtNS)
+	}
+	if last.AtNS < 7e6 {
+		t.Fatalf("recovery at %dns, want after the burst closes at 7ms", last.AtNS)
+	}
+	for _, s := range r.ModeSwitches {
+		if s.Device == "" || s.Rule != "guard" || s.Metric != "audit.blocked" {
+			t.Fatalf("switch missing attribution: %+v", s)
+		}
+	}
+	if r.StaleIOTLBUses != 0 || r.StalePTUses != 0 {
+		t.Fatal("stale uses nonzero across mode switches")
+	}
+	if r.Safety == nil || r.Safety.Violations() != 0 {
+		t.Fatalf("safety report %+v, want zero stale-served", r.Safety)
 	}
 }
 

@@ -217,21 +217,10 @@ func (p capPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
 	return cost, nil
 }
 
-func (p capPolicy) flush(d *Domain) sim.Duration {
-	if !p.lazy {
-		return 0
-	}
-	cost := d.capFlush()
-	if cost > 0 {
-		d.c.CPUTime += cost
-	}
-	return cost
-}
-
 // maybeFlushCaps runs the lazy-revoke flush once enough pages are
 // pending (the threshold path; the caller's cost tail charges it).
 func (d *Domain) maybeFlushCaps() sim.Duration {
-	if d.capPendingPages < d.cfg.DeferredLimit {
+	if d.capPendingPages < d.knobs.DeferredLimit {
 		return 0
 	}
 	return d.capFlush()

@@ -140,6 +140,10 @@ type Descriptor struct {
 	persistent bool
 	// FNSHuge: the 2MB chunk this descriptor was carved from
 	huge *hugeChunk
+	// pol is the policy that mapped this descriptor. Unmap and remap
+	// dispatch through it, so a descriptor in flight across a runtime
+	// mode switch completes under the rules that laid it out.
+	pol Policy
 }
 
 // TxMapping is a mapped Tx packet: one IOVA per page.
@@ -148,6 +152,8 @@ type TxMapping struct {
 	cpu   int
 	// chunk slots used (FNS/StrictContig/FNSHuge Tx)
 	chunks []*txChunk
+	// pol is the policy that mapped this packet (see Descriptor.pol).
+	pol Policy
 }
 
 // txChunk is a per-CPU descriptor-sized IOVA chunk filled across Tx
@@ -179,6 +185,7 @@ type Counters struct {
 // allocator and a protection-mode datapath.
 type Domain struct {
 	cfg   Config
+	knobs Knobs
 	pol   Policy
 	mmu   *iommu.IOMMU
 	domID iommu.DomainID
@@ -244,6 +251,7 @@ func NewDomain(cfg Config) (*Domain, error) {
 	}
 	d := &Domain{
 		cfg:      cfg,
+		knobs:    Knobs{Mode: cfg.Mode, DeferredLimit: cfg.DeferredLimit, FlushInterval: DefaultFlushInterval},
 		pol:      pol,
 		mmu:      mmu,
 		domID:    domID,
@@ -278,8 +286,9 @@ func NewDomain(cfg Config) (*Domain, error) {
 	return d, nil
 }
 
-// Mode returns the domain's protection mode.
-func (d *Domain) Mode() Mode { return d.cfg.Mode }
+// Mode returns the domain's current protection mode (live: a runtime
+// knob switch changes it).
+func (d *Domain) Mode() Mode { return d.knobs.Mode }
 
 // DescriptorPages returns the configured pages per Rx descriptor.
 func (d *Domain) DescriptorPages() int { return d.cfg.DescriptorPages }
@@ -430,13 +439,28 @@ func (d *Domain) traceAccess(v ptable.IOVA) {
 // on cpu's ring (§2.1 step 1). It returns the descriptor and the CPU time
 // spent. In Off mode IOVAs are identities for fresh physical pages.
 func (d *Domain) MapRxDescriptor(cpu int) (*Descriptor, sim.Duration, error) {
-	return d.pol.mapRx(d, cpu)
+	desc, cost, err := d.pol.mapRx(d, cpu)
+	if desc != nil {
+		desc.pol = d.pol
+	}
+	return desc, cost, err
+}
+
+// descPolicy resolves the policy a descriptor completes under: the one
+// that mapped it, falling back to the bound policy for descriptors
+// built outside MapRxDescriptor (tests constructing bare values).
+func (d *Domain) descPolicy(desc *Descriptor) Policy {
+	if desc.pol != nil {
+		return desc.pol
+	}
+	return d.pol
 }
 
 // UnmapRxDescriptor completes an Rx descriptor (§2.1 step 4): unmap every
-// page, invalidate (or revoke) per the policy, free the IOVAs.
+// page, invalidate (or revoke) per the policy that mapped it, free the
+// IOVAs.
 func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
-	return d.pol.unmapRx(d, desc)
+	return d.descPolicy(desc).unmapRx(d, desc)
 }
 
 // RemapRxDescriptor rotates the buffers behind a registered descriptor:
@@ -449,13 +473,13 @@ func (d *Domain) UnmapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
 // the IOTLB and any device-side ATC keep serving the old physical
 // addresses for IOVAs that are still mapped — just not there.
 func (d *Domain) RemapRxDescriptor(desc *Descriptor) (sim.Duration, error) {
-	return d.pol.remapRx(d, desc)
+	return d.descPolicy(desc).remapRx(d, desc)
 }
 
 // maybeFlushDeferred performs the deferred-mode global flush once enough
 // unmaps are pending (Linux lazy mode flushes the whole IOTLB).
 func (d *Domain) maybeFlushDeferred() sim.Duration {
-	if len(d.deferredPending) < d.cfg.DeferredLimit {
+	if len(d.deferredPending) < d.knobs.DeferredLimit {
 		return 0
 	}
 	cost := d.flushInvalidate()
@@ -474,12 +498,35 @@ func (d *Domain) PendingDeferred() int {
 	return len(d.deferredPending) + d.capPendingPages
 }
 
-// FlushDeferred forces the policy's batch flush regardless of the
-// pending count — the 10ms timer path of Linux's lazy mode, reused by
-// cap-lazyrevoke for the revocation batch. Returns the CPU cost; a no-op
-// for policies that batch nothing or with nothing pending.
+// FlushDeferred forces the batch flush regardless of the pending count
+// — the timer path of Linux's lazy mode, reused by cap-lazyrevoke for
+// the revocation batch. It drains both batch kinds unconditionally (a
+// mode switch can leave the foreign batch non-empty until in-flight
+// mappings complete), so it is a no-op exactly when nothing is pending.
+// Returns the CPU cost, already charged to the domain.
 func (d *Domain) FlushDeferred() sim.Duration {
-	return d.pol.flush(d)
+	cost := d.drainDeferred()
+	if c := d.capFlush(); c > 0 {
+		d.c.CPUTime += c
+		cost += c
+	}
+	return cost
+}
+
+// drainDeferred flushes the deferred-invalidation batch: one flush-all
+// invalidation, then the batched IOVA frees. Self-charging.
+func (d *Domain) drainDeferred() sim.Duration {
+	if len(d.deferredPending) == 0 {
+		return 0
+	}
+	cost := d.flushInvalidate()
+	d.c.DeferredFlushes++
+	for _, p := range d.deferredPending {
+		cost += d.freeIOVA(p.cpu, p.base, p.pages)
+	}
+	d.deferredPending = d.deferredPending[:0]
+	d.c.CPUTime += cost
+	return cost
 }
 
 // MapPersistentPages maps pages 4KB pages that live for the domain's whole
@@ -488,7 +535,7 @@ func (d *Domain) FlushDeferred() sim.Duration {
 // the returned IOVAs are physical identities.
 func (d *Domain) MapPersistentPages(cpu, pages int) ([]ptable.IOVA, error) {
 	out := make([]ptable.IOVA, 0, pages)
-	if d.cfg.Mode == Off {
+	if d.knobs.Mode == Off {
 		for i := 0; i < pages; i++ {
 			out = append(out, ptable.IOVA(d.newPhys()))
 		}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsafe/internal/sim"
+)
+
+// Runtime-tunable protection knobs. Construction (Config) decides the
+// frozen shape of a domain — IOMMU geometry, CPU count, capability-table
+// attachment — while Knobs carries the parameters a control plane may
+// retune while traffic is in flight: the bound protection mode, the
+// deferred/lazy-revoke batch threshold, and the timer-flush period.
+// NewDomain seeds them from Config; SetKnobs is the only writer.
+
+// DefaultFlushInterval is the timer-flush period for batched
+// invalidations (Linux's 10ms lazy-mode timer), seeded into every
+// domain's knobs and consumed by the host's housekeeping loop.
+const DefaultFlushInterval = 10 * sim.Millisecond
+
+// Knobs are the runtime-tunable parameters of one protection domain.
+type Knobs struct {
+	// Mode is the protection mode the datapath currently runs.
+	Mode Mode
+	// DeferredLimit is the pending-page threshold that triggers a batch
+	// flush in deferred and cap-lazyrevoke modes.
+	DeferredLimit int
+	// FlushInterval is the timer-flush period for the same batches.
+	FlushInterval sim.Duration
+}
+
+// Knobs returns the domain's current runtime knobs.
+func (d *Domain) Knobs() Knobs { return d.knobs }
+
+// switchable lists the modes a domain may transition between at
+// runtime. The excluded modes pin state no transition protocol can
+// drain: Off never built page tables (IOVAs are physical identities),
+// Persistent's recycled descriptor pools and FNSHuge's shared 2MB
+// chunks hold live mappings with no per-descriptor completion point.
+var switchable = map[Mode]bool{
+	Strict:           true,
+	Deferred:         true,
+	StrictPreserve:   true,
+	StrictContig:     true,
+	FNS:              true,
+	DeferNoShootdown: true,
+	Cap:              true,
+	CapLazyRevoke:    true,
+}
+
+// CanSwitch reports whether a runtime transition from mode `from` to
+// mode `to` is supported, with the same error SetKnobs would return.
+// Control planes validate their rules against it at construction so a
+// mis-specced rule fails loudly before traffic flows.
+func CanSwitch(from, to Mode) error {
+	if from == to {
+		return nil
+	}
+	if _, ok := PolicyFor(to); !ok {
+		return fmt.Errorf("core: mode %v has no registered policy (valid: %s)",
+			to, strings.Join(ValidModeNames(), ", "))
+	}
+	if !switchable[from] || !switchable[to] {
+		return fmt.Errorf("core: cannot switch %v -> %v at runtime (off, persistent and fns+huge pin identity mappings, recycled pools or shared 2MB chunks that no transition can drain)",
+			from, to)
+	}
+	if capabilityMode(from) != capabilityMode(to) {
+		return fmt.Errorf("core: cannot switch %v -> %v at runtime (the capability table attaches at construction; switch within the page-table family or within the capability family)",
+			from, to)
+	}
+	return nil
+}
+
+// SetKnobs retunes the domain's runtime knobs, switching protection
+// mode when k.Mode differs from the current one. A mode switch runs the
+// transition protocol — drain every batch the old policy accumulated,
+// retire partially filled Tx chunks, and shoot down every cached
+// translation — before rebinding the policy, so nothing the old mode
+// left behind can be served under the new one (the auditor stays
+// zero-stale across the switch). In-flight descriptors and Tx packets
+// keep the policy that mapped them and complete through it. Returns the
+// CPU time the transition cost (already charged to the domain).
+func (d *Domain) SetKnobs(k Knobs) (sim.Duration, error) {
+	if k.DeferredLimit <= 0 {
+		return 0, fmt.Errorf("core: knobs deferred limit must be > 0, got %d", k.DeferredLimit)
+	}
+	if k.FlushInterval <= 0 {
+		return 0, fmt.Errorf("core: knobs flush interval must be > 0, got %s", k.FlushInterval)
+	}
+	if k.Mode == d.knobs.Mode {
+		d.knobs = k
+		return 0, nil
+	}
+	if err := CanSwitch(d.knobs.Mode, k.Mode); err != nil {
+		return 0, err
+	}
+	pol, _ := PolicyFor(k.Mode)
+	// Drain the deferred-invalidation and lazy-revoke batches (self-
+	// charging), so no unmap the old policy queued outlives its policy.
+	cost := d.FlushDeferred()
+	var extra sim.Duration
+	// Retire partially filled Tx chunks: slots already handed to
+	// in-flight packets were mapped by the old policy and complete
+	// through it (each mapping carries its origin); the unfilled tail
+	// was never mapped. Capping the chunk keeps any new-mode packet out
+	// of an old-mode chunk, and the IOVA range frees as usual once the
+	// last in-flight slot completes.
+	for cpu, ch := range d.txChunks {
+		if ch == nil {
+			continue
+		}
+		ch.released += ch.pages - ch.next
+		ch.next = ch.pages
+		if ch.released == ch.pages {
+			extra += d.freeIOVA(d.txFreeCPU(cpu), ch.base, ch.pages)
+		}
+		d.txChunks[cpu] = nil
+	}
+	// Quiesce cached translation state: one flush-all invalidation
+	// covers the IOTLB, the page-table caches, and — because the
+	// domain's translator is the ATC when one is attached — the
+	// device-side ATS cache. Capability domains have no translation
+	// caches to quiesce; their grant table is already exact.
+	if d.caps == nil {
+		extra += d.flushInvalidate()
+	}
+	d.pol = pol
+	d.knobs = k
+	d.c.CPUTime += extra
+	return cost + extra, nil
+}

@@ -40,10 +40,6 @@ type Policy interface {
 	remapRx(d *Domain, desc *Descriptor) (sim.Duration, error)
 	mapTx(d *Domain, cpu, pages int) (*TxMapping, sim.Duration, error)
 	unmapTx(d *Domain, m *TxMapping) (sim.Duration, error)
-	// flush is the forced/timer flush of whatever the policy batches
-	// (deferred-mode invalidations, lazy capability revocations). Charges
-	// the cost to the domain's CPUTime itself; 0 when nothing is pending.
-	flush(d *Domain) sim.Duration
 }
 
 // predicates carries a policy's identity and guarantee tuple.
@@ -58,11 +54,6 @@ func (p predicates) Translated() bool        { return p.translated }
 func (p predicates) StrictSafety() bool      { return p.strict }
 func (p predicates) Contiguous() bool        { return p.contiguous }
 func (p predicates) PreservesPTCaches() bool { return p.preservesPTCaches }
-
-// noFlush is embedded by every policy that batches nothing.
-type noFlush struct{}
-
-func (noFlush) flush(*Domain) sim.Duration { return 0 }
 
 // policies is the registry the Mode surface resolves through. An
 // unregistered mode is a construction-time error in NewDomain — the
@@ -92,7 +83,6 @@ func PolicyFor(m Mode) (Policy, bool) {
 
 type offPolicy struct {
 	predicates
-	noFlush
 }
 
 func (offPolicy) mapRx(d *Domain, cpu int) (*Descriptor, sim.Duration, error) {
@@ -125,17 +115,16 @@ func (offPolicy) unmapTx(*Domain, *TxMapping) (sim.Duration, error) { return 0, 
 
 type pagedPolicy struct {
 	predicates
-	noFlush
 }
 
 func (pagedPolicy) mapRx(d *Domain, cpu int) (*Descriptor, sim.Duration, error) {
 	return d.mapRxPaged(cpu)
 }
 
-func (pagedPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
+func (p pagedPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
 	// Per-page unmap, per-page invalidation request (Figure 6a).
 	var cost sim.Duration
-	iotlbOnly := d.cfg.Mode.PreservesPTCaches()
+	iotlbOnly := p.PreservesPTCaches()
 	for _, v := range desc.IOVAs {
 		res, err := d.table.Unmap(v, ptable.PageSize)
 		if err != nil {
@@ -155,17 +144,17 @@ func (pagedPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
 	return cost, nil
 }
 
-func (pagedPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
-	return d.remapRxPaged(desc)
+func (p pagedPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
+	return d.remapRxPaged(desc, p.PreservesPTCaches())
 }
 
 func (pagedPolicy) mapTx(d *Domain, cpu, pages int) (*TxMapping, sim.Duration, error) {
 	return d.mapTxPaged(cpu, pages)
 }
 
-func (pagedPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
+func (p pagedPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
 	var cost sim.Duration
-	iotlbOnly := d.cfg.Mode.PreservesPTCaches()
+	iotlbOnly := p.PreservesPTCaches()
 	for _, v := range m.IOVAs {
 		res, err := d.table.Unmap(v, ptable.PageSize)
 		if err != nil {
@@ -215,11 +204,11 @@ func (deferredPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error)
 	return cost, nil
 }
 
-func (deferredPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
+func (p deferredPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
 	// Deferred degenerates to the strict remap: a registered window's
 	// IOVAs are reused immediately, so their invalidation cannot sit in
 	// the deferred batch.
-	return d.remapRxPaged(desc)
+	return d.remapRxPaged(desc, p.PreservesPTCaches())
 }
 
 func (deferredPolicy) mapTx(d *Domain, cpu, pages int) (*TxMapping, sim.Duration, error) {
@@ -242,20 +231,6 @@ func (deferredPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
 	return cost, nil
 }
 
-func (deferredPolicy) flush(d *Domain) sim.Duration {
-	if len(d.deferredPending) == 0 {
-		return 0
-	}
-	cost := d.flushInvalidate()
-	d.c.DeferredFlushes++
-	for _, p := range d.deferredPending {
-		cost += d.freeIOVA(p.cpu, p.base, p.pages)
-	}
-	d.deferredPending = d.deferredPending[:0]
-	d.c.CPUTime += cost
-	return cost
-}
-
 // ---------------------------------------------------------------------------
 // StrictContig / FNS: descriptor-sized contiguous IOVA chunks with one
 // ranged invalidation per descriptor (Figure 6b). FNS additionally keeps
@@ -263,27 +238,26 @@ func (deferredPolicy) flush(d *Domain) sim.Duration {
 
 type contigPolicy struct {
 	predicates
-	noFlush
 }
 
 func (contigPolicy) mapRx(d *Domain, cpu int) (*Descriptor, sim.Duration, error) {
 	return d.mapRxContig(cpu)
 }
 
-func (contigPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
-	return d.unmapRxContig(desc, true)
+func (p contigPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
+	return d.unmapRxContig(desc, true, p.PreservesPTCaches())
 }
 
-func (contigPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
-	return d.remapRxContig(desc, true)
+func (p contigPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
+	return d.remapRxContig(desc, true, p.PreservesPTCaches())
 }
 
 func (contigPolicy) mapTx(d *Domain, cpu, pages int) (*TxMapping, sim.Duration, error) {
 	return d.mapTxChunked(cpu, pages)
 }
 
-func (contigPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
-	return d.unmapTxChunked(m, true)
+func (p contigPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
+	return d.unmapTxChunked(m, true, p.PreservesPTCaches())
 }
 
 // ---------------------------------------------------------------------------
@@ -293,7 +267,6 @@ func (contigPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
 
 type persistentPolicy struct {
 	predicates
-	noFlush
 }
 
 func (persistentPolicy) mapRx(d *Domain, cpu int) (*Descriptor, sim.Duration, error) {
@@ -381,7 +354,6 @@ func (persistentPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
 
 type hugePolicy struct {
 	predicates
-	noFlush
 }
 
 func (hugePolicy) mapRx(d *Domain, cpu int) (*Descriptor, sim.Duration, error) {
@@ -403,8 +375,8 @@ func (hugePolicy) mapTx(d *Domain, cpu, pages int) (*TxMapping, sim.Duration, er
 	return d.mapTxChunked(cpu, pages)
 }
 
-func (hugePolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
-	return d.unmapTxChunked(m, true)
+func (p hugePolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
+	return d.unmapTxChunked(m, true, p.PreservesPTCaches())
 }
 
 // ---------------------------------------------------------------------------
@@ -413,7 +385,6 @@ func (hugePolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
 
 type noShootdownPolicy struct {
 	predicates
-	noFlush
 }
 
 func (noShootdownPolicy) mapRx(d *Domain, cpu int) (*Descriptor, sim.Duration, error) {
@@ -422,28 +393,28 @@ func (noShootdownPolicy) mapRx(d *Domain, cpu int) (*Descriptor, sim.Duration, e
 	return d.mapRxContig(cpu)
 }
 
-func (noShootdownPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
+func (p noShootdownPolicy) unmapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
 	// Ranged unmap like FNS, but no invalidation is ever submitted and
 	// the IOVAs recycle immediately. Cached IOTLB/PTcache entries survive
 	// past the unmap, so a later DMA — stray or legitimate after
 	// recycling — can be served stale. The safety auditor exists to catch
 	// exactly this.
-	return d.unmapRxContig(desc, false)
+	return d.unmapRxContig(desc, false, p.PreservesPTCaches())
 }
 
-func (noShootdownPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
+func (p noShootdownPolicy) remapRx(d *Domain, desc *Descriptor) (sim.Duration, error) {
 	// The strawman: re-point the pages, never tell the caches.
-	return d.remapRxContig(desc, false)
+	return d.remapRxContig(desc, false, p.PreservesPTCaches())
 }
 
 func (noShootdownPolicy) mapTx(d *Domain, cpu, pages int) (*TxMapping, sim.Duration, error) {
 	return d.mapTxChunked(cpu, pages)
 }
 
-func (noShootdownPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
+func (p noShootdownPolicy) unmapTx(d *Domain, m *TxMapping) (sim.Duration, error) {
 	// Ranged unmaps like FNS but no invalidation requests; chunk slots
 	// recycle immediately.
-	return d.unmapTxChunked(m, false)
+	return d.unmapTxChunked(m, false, p.PreservesPTCaches())
 }
 
 // ---------------------------------------------------------------------------
@@ -503,8 +474,9 @@ func (d *Domain) mapRxContig(cpu int) (*Descriptor, sim.Duration, error) {
 
 // unmapRxContig completes a contiguous descriptor: one ranged unmap and
 // — when inv is set — a single batched invalidation request for the
-// whole descriptor (Figure 6b). The strawman passes inv=false.
-func (d *Domain) unmapRxContig(desc *Descriptor, inv bool) (sim.Duration, error) {
+// whole descriptor (Figure 6b); iotlbOnly is the calling policy's
+// PTcache-preservation predicate. The strawman passes inv=false.
+func (d *Domain) unmapRxContig(desc *Descriptor, inv, iotlbOnly bool) (sim.Duration, error) {
 	var cost sim.Duration
 	pages := len(desc.IOVAs)
 	res, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize)
@@ -514,7 +486,6 @@ func (d *Domain) unmapRxContig(desc *Descriptor, inv bool) (sim.Duration, error)
 	cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
 	d.c.PagesUnmapped += int64(pages)
 	if inv {
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
 		cost += d.invalidate(desc.base, pages, iotlbOnly)
 		if iotlbOnly && len(res.Reclaimed) > 0 {
 			d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
@@ -529,10 +500,10 @@ func (d *Domain) unmapRxContig(desc *Descriptor, inv bool) (sim.Duration, error)
 
 // remapRxPaged rotates a registered window per page: unmap + eager
 // per-page invalidation, then remap in place (Strict, StrictPreserve,
-// Deferred).
-func (d *Domain) remapRxPaged(desc *Descriptor) (sim.Duration, error) {
+// Deferred); iotlbOnly is the calling policy's PTcache-preservation
+// predicate.
+func (d *Domain) remapRxPaged(desc *Descriptor, iotlbOnly bool) (sim.Duration, error) {
 	var cost sim.Duration
-	iotlbOnly := d.cfg.Mode.PreservesPTCaches()
 	for _, v := range desc.IOVAs {
 		res, err := d.table.Unmap(v, ptable.PageSize)
 		if err != nil {
@@ -559,8 +530,9 @@ func (d *Domain) remapRxPaged(desc *Descriptor) (sim.Duration, error) {
 
 // remapRxContig rotates a registered window with a ranged unmap, one
 // batched invalidation (when inv is set — the strawman re-points the
-// pages without telling the caches), then remaps page by page.
-func (d *Domain) remapRxContig(desc *Descriptor, inv bool) (sim.Duration, error) {
+// pages without telling the caches), then remaps page by page;
+// iotlbOnly is the calling policy's PTcache-preservation predicate.
+func (d *Domain) remapRxContig(desc *Descriptor, inv, iotlbOnly bool) (sim.Duration, error) {
 	var cost sim.Duration
 	pages := len(desc.IOVAs)
 	res, err := d.table.Unmap(desc.base, uint64(pages)*ptable.PageSize)
@@ -570,7 +542,6 @@ func (d *Domain) remapRxContig(desc *Descriptor, inv bool) (sim.Duration, error)
 	cost += d.cfg.Costs.UnmapPage * sim.Duration(pages)
 	d.c.PagesUnmapped += int64(pages)
 	if inv {
-		iotlbOnly := d.cfg.Mode.PreservesPTCaches()
 		cost += d.invalidate(desc.base, pages, iotlbOnly)
 		if iotlbOnly && len(res.Reclaimed) > 0 {
 			d.mmu.InvalidateReclaimedIn(d.domID, res.Reclaimed)
@@ -651,10 +622,10 @@ func (d *Domain) mapTxChunked(cpu, pages int) (*TxMapping, sim.Duration, error) 
 // are grouped into contiguous runs (they are contiguous except across a
 // chunk boundary), each run is unmapped — and, when inv is set, covered
 // by one ranged invalidation — and chunk slots are released, freeing the
-// chunk once fully released.
-func (d *Domain) unmapTxChunked(m *TxMapping, inv bool) (sim.Duration, error) {
+// chunk once fully released; iotlbOnly is the calling policy's
+// PTcache-preservation predicate.
+func (d *Domain) unmapTxChunked(m *TxMapping, inv, iotlbOnly bool) (sim.Duration, error) {
 	var cost sim.Duration
-	iotlbOnly := d.cfg.Mode.PreservesPTCaches()
 	i := 0
 	for i < len(m.IOVAs) {
 		j := i + 1

@@ -21,7 +21,11 @@ func (d *Domain) MapTx(cpu, pages int) (*TxMapping, sim.Duration, error) {
 	if pages <= 0 {
 		pages = 1
 	}
-	return d.pol.mapTx(d, cpu, pages)
+	m, cost, err := d.pol.mapTx(d, cpu, pages)
+	if m != nil {
+		m.pol = d.pol
+	}
+	return m, cost, err
 }
 
 func (d *Domain) txPools(cpu int) *txPool {
@@ -35,10 +39,15 @@ func (d *Domain) txPools(cpu int) *txPool {
 }
 
 // UnmapTx completes a Tx packet: unmap its pages and invalidate (or
-// revoke) per the policy. Strict safety requires the device to lose
-// access as soon as the packet completes, so even F&S invalidates here —
-// but ranged over each contiguous run the packet occupies within its
-// chunks.
+// revoke) per the policy that mapped it — a packet in flight across a
+// runtime mode switch completes under the rules that laid it out.
+// Strict safety requires the device to lose access as soon as the
+// packet completes, so even F&S invalidates here — but ranged over each
+// contiguous run the packet occupies within its chunks.
 func (d *Domain) UnmapTx(m *TxMapping) (sim.Duration, error) {
-	return d.pol.unmapTx(d, m)
+	pol := m.pol
+	if pol == nil {
+		pol = d.pol
+	}
+	return pol.unmapTx(d, m)
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"fastsafe/internal/control"
 	"fastsafe/internal/core"
 	"fastsafe/internal/fault"
 	"fastsafe/internal/host"
@@ -1243,6 +1244,161 @@ func Serving(o Options) Table {
 	return t
 }
 
+// adaptivePhases runs the adaptive scenario's three cells — static
+// strict, static F&S, and F&S with the control plane attached — through
+// a three-phase run derived from o.Measure: a clean phase, a bounded
+// burst of injected device misbehaviour (fault.Plan's activity window),
+// and a memory-antagonist phase. It returns the per-cell Results plus
+// the phase geometry (everything is a multiple of the sampling interval
+// e, so phase boundaries land exactly on sampler ticks). The controller
+// cell arms one guard rule on the audited blocked-DMA counter: any
+// blocked DMA in an evaluation tick is evidence of a misbehaving device
+// and drops the domain to strict until a full tick passes clean.
+func adaptivePhases(o Options) (rs []host.Results, warmup, e sim.Duration) {
+	e = o.Measure / 8
+	if e <= 0 {
+		e = 1
+	}
+	warmup = 2 * e
+	ctl := &control.Config{
+		Every: e / 4,
+		Rules: []control.Rule{{
+			Kind:     control.Guard,
+			Metric:   "audit.blocked",
+			High:     1,
+			Low:      0,
+			Safe:     core.Strict,
+			Fast:     core.FNS,
+			Cooldown: 2 * e,
+		}},
+	}
+	// The burst doubles the canonical campaign's device-misbehaviour
+	// rates so the audit signal rises within a fraction of one sampling
+	// interval of the window opening.
+	plan := fault.Campaign(1)
+	plan.StrayDMA, plan.WildDMA = 0.05, 0.03
+	plan.Start, plan.For = warmup+2*e, 2*e
+	var specs []workload.Spec
+	for _, cell := range []struct {
+		mode core.Mode
+		ctl  *control.Config
+	}{{core.Strict, nil}, {core.FNS, nil}, {core.FNS, ctl}} {
+		s := workload.Iperf(cell.mode, 0, 0)
+		s.Host.Faults = plan
+		s.Host.FaultSeed = 1
+		s.Host.Audit = true
+		s.Host.MemHogGBps = 12
+		s.Host.MemHogStart = warmup + 4*e
+		s.Host.Telemetry.SampleEvery = e
+		s.Host.Control = cell.ctl
+		s.Warmup = warmup
+		s.Measure = 8 * e
+		specs = append(specs, s)
+	}
+	return runSpecsRaw(specs, o.Parallel), warmup, e
+}
+
+// adaptiveGoodput buckets one run's sampled goodput into the three
+// phases (clean, burst, memhog) by sample end time. The first sample of
+// every phase is a transition interval — it straddles the controller's
+// reaction latency (at most a few evaluation ticks) — and is excluded
+// from the phase mean, uniformly for every cell.
+func adaptiveGoodput(r host.Results, warmup, e sim.Duration) [3]float64 {
+	var rx stats.Series
+	for _, s := range r.Timeline {
+		if s.Name == "rx_gbps" {
+			rx = s
+		}
+	}
+	cleanEnd := sim.Time(warmup + 2*e)
+	burstEnd := sim.Time(warmup + 4*e)
+	var phases [3][]float64
+	for i, t := range rx.Times {
+		switch {
+		case t <= cleanEnd:
+			phases[0] = append(phases[0], rx.Values[i])
+		case t <= burstEnd:
+			phases[1] = append(phases[1], rx.Values[i])
+		default:
+			phases[2] = append(phases[2], rx.Values[i])
+		}
+	}
+	var out [3]float64
+	for p, vals := range phases {
+		if len(vals) > 1 {
+			vals = vals[1:]
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if len(vals) > 0 {
+			out[p] = sum / float64(len(vals))
+		}
+	}
+	return out
+}
+
+// Adaptive runs the control plane against the static modes it arbitrates
+// between (extension; ROADMAP item 4). Three cells share one three-phase
+// scenario: clean traffic, then a bounded burst of injected device
+// misbehaviour (stray/wild DMAs under the audit layer), then a memory-
+// bandwidth antagonist. Static strict pays for its per-buffer
+// invalidations exactly when the burst's completion drops stall them;
+// static F&S holds its goodput everywhere but keeps serving through its
+// relaxed window while devices misbehave. The adaptive cell starts from
+// F&S with one guard rule on the audited blocked-DMA counter: the burst
+// drops it to strict within a fraction of a sampling interval — new
+// mappings pay strict's map/invalidate sequence while mappings stamped
+// under F&S retire on their origin policy, which is why the fallback
+// costs a few percent rather than static strict's burst dip — and one
+// clean evaluation tick after the burst ends it returns to F&S. The
+// vs_ref columns divide each cell's phase goodput by the best static
+// goodput of that phase; the acceptance claim is the adaptive row's
+// three ratios ≥ 0.95 with at least two switches and zero stale-served
+// DMAs in every cell.
+func Adaptive(o Options) Table {
+	t := Table{ID: "adaptive", Title: "Adaptive control plane vs static modes across clean/burst/antagonist phases (extension)",
+		Header: []string{"mode", "clean_gbps", "burst_gbps", "memhog_gbps", "vs_ref_clean", "vs_ref_burst", "vs_ref_memhog", "switches", "checked", "blocked", "stale_served"}}
+	rs, warmup, e := adaptivePhases(o)
+	labels := []string{"strict", "fns", "adaptive"}
+	var goodput [3][3]float64
+	for i, r := range rs {
+		goodput[i] = adaptiveGoodput(r, warmup, e)
+	}
+	// The per-phase reference is the better static mode's goodput.
+	var ref [3]float64
+	for p := 0; p < 3; p++ {
+		ref[p] = goodput[0][p]
+		if goodput[1][p] > ref[p] {
+			ref[p] = goodput[1][p]
+		}
+	}
+	for i, r := range rs {
+		var s fault.SafetyReport
+		if r.Safety != nil {
+			s = *r.Safety
+		}
+		row := []string{labels[i]}
+		for p := 0; p < 3; p++ {
+			row = append(row, f1(goodput[i][p]))
+		}
+		for p := 0; p < 3; p++ {
+			ratio := 0.0
+			if ref[p] > 0 {
+				ratio = goodput[i][p] / ref[p]
+			}
+			row = append(row, f2(ratio))
+		}
+		row = append(row,
+			fmt.Sprintf("%d", len(r.Control)),
+			fmt.Sprintf("%d", s.Checked), fmt.Sprintf("%d", s.Blocked),
+			fmt.Sprintf("%d", s.Violations()))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
 // clusterScaleCell is one (traffic, hosts, shards) configuration of the
 // clusterscale figure.
 type clusterScaleCell struct {
@@ -1353,7 +1509,7 @@ func All(o Options) []Table {
 		Fig12(o), Model(o), Deferred(o), DescriptorSizes(o), CacheSizes(o),
 		Hugepages(o), MemoryLatency(o), Seeds(o), Storage(o), MemoryHog(o),
 		Timeline(o), CPUCost(o), Faults(o), Cluster(o), ClusterScale(o),
-		Rdma(o), Capability(o), Serving(o),
+		Rdma(o), Capability(o), Serving(o), Adaptive(o),
 	}
 }
 
@@ -1370,7 +1526,7 @@ func ByID(id string, o Options) (Table, error) {
 		"multidev": Multidev, "memhog": MemoryHog, "timeline": Timeline,
 		"cpucost": CPUCost, "faults": Faults, "cluster": Cluster,
 		"clusterscale": ClusterScale, "rdma": Rdma, "capability": Capability,
-		"serving": Serving,
+		"serving": Serving, "adaptive": Adaptive,
 	}
 	f, ok := fns[id]
 	if !ok {
@@ -1387,5 +1543,6 @@ func IDs() []string {
 		"model", "modes", "descsize", "ptcache", "huge", "memlat", "seeds",
 		"storage", "multidev", "memhog", "timeline", "cpucost", "faults",
 		"cluster", "clusterscale", "rdma", "capability", "serving",
+		"adaptive",
 	}
 }

@@ -35,8 +35,11 @@ func goldenOpts() Options {
 // page-table family, with the lazy-revoke stale window audited), and the
 // serving figure (the open-loop churn fleet — including the cohort8 rows,
 // whose counter columns must stay identical to the exact churn-0.20 host
-// rows by the cohort grouping-invariance contract).
-var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale", "rdma", "capability", "serving"}
+// rows by the cohort grouping-invariance contract), and the adaptive
+// figure (the control plane's two mid-run mode switches under the
+// windowed fault burst, with the per-phase tracking ratios and the
+// zero-stale audit columns locked byte-for-byte).
+var goldenFigs = []string{"fig2", "fig7", "modes", "storage", "cluster", "clusterscale", "rdma", "capability", "serving", "adaptive"}
 
 // TestGoldenFiguresByteIdentical regenerates each golden figure and
 // requires byte-for-byte identity with the committed file. Regenerate

@@ -118,18 +118,36 @@ func (i *Injector) Start() {
 		return
 	}
 	i.started = true
+	// Periodic disturbances honour the plan's activity window: the
+	// first tick lands one period after the window opens, and a tick
+	// firing past the window's end neither acts nor reschedules. With
+	// the zero window (Start and For both 0) the schedule is exactly
+	// the pre-window one.
 	if p := i.plan.LinkFlapEvery; p > 0 {
-		i.eng.After(p, i.flapTick)
+		i.eng.After(i.plan.Start+p, i.flapTick)
 	}
 	if p := i.plan.MemSpikeEvery; p > 0 {
-		i.eng.After(p, i.spikeTick)
+		i.eng.After(i.plan.Start+p, i.spikeTick)
 	}
 	if p := i.plan.RcacheFlushEvery; p > 0 {
-		i.eng.After(p, i.rcacheTick)
+		i.eng.After(i.plan.Start+p, i.rcacheTick)
 	}
 }
 
+// active reports whether the virtual clock sits inside the plan's
+// injection window [Start, Start+For).
+func (i *Injector) active() bool {
+	now := i.eng.Now()
+	if now < sim.Time(i.plan.Start) {
+		return false
+	}
+	return i.plan.For == 0 || now < sim.Time(i.plan.Start+i.plan.For)
+}
+
 func (i *Injector) flapTick() {
+	if !i.active() {
+		return
+	}
 	i.c.LinkFlaps++
 	until := i.eng.Now() + i.plan.LinkFlapFor
 	for _, l := range i.links {
@@ -142,6 +160,9 @@ func (i *Injector) flapTick() {
 // MemSpikeGBps worth of 64KB chunk arrivals spread over MemSpikeFor,
 // the same shape as the workload-level memory hog.
 func (i *Injector) spikeTick() {
+	if !i.active() {
+		return
+	}
 	i.c.MemSpikes++
 	const chunk = 64 << 10
 	bytes := i.plan.MemSpikeGBps * float64(i.plan.MemSpikeFor) // GB/s × ns = bytes
@@ -161,6 +182,9 @@ func (i *Injector) spikeTick() {
 }
 
 func (i *Injector) rcacheTick() {
+	if !i.active() {
+		return
+	}
 	i.c.RcacheFlushes++
 	for _, fn := range i.flushers {
 		fn()
@@ -168,8 +192,12 @@ func (i *Injector) rcacheTick() {
 	i.eng.After(i.plan.RcacheFlushEvery, i.rcacheTick)
 }
 
+// roll is the one probability gate: every per-opportunity fault class
+// decides through it, so the activity window uniformly gates them all.
+// Outside the window no randomness is consumed — the in-window decision
+// stream is therefore identical whether or not quiet phases precede it.
 func (i *Injector) roll(p float64) bool {
-	return p > 0 && i.rng.Float64() < p
+	return p > 0 && i.active() && i.rng.Float64() < p
 }
 
 func (i *Injector) noteRetry(d iommu.DomainID) {

@@ -61,6 +61,16 @@ type Plan struct {
 	MemSpikeEvery sim.Duration
 	MemSpikeFor   sim.Duration // spike length (default 20us)
 	MemSpikeGBps  float64      // antagonist bandwidth during a spike (default 24)
+
+	// Activity window: injections only fire in virtual-time
+	// [Start, Start+For), so a campaign can model a bounded burst of
+	// misbehaviour mid-run (the adaptive figure's fault phase). Zero
+	// Start begins at construction; zero For never ends — both zero is
+	// byte-identical to the pre-window injector. The window gates
+	// injection decisions, not their aftermath: a delay or stall granted
+	// inside the window still plays out past its end.
+	Start sim.Duration
+	For   sim.Duration
 }
 
 // Enabled reports whether the plan injects anything at all. The auditor
@@ -123,9 +133,12 @@ func Campaign(intensity float64) Plan {
 // comma-separated key=value list, e.g.
 //
 //	"invdrop=0.1,straydma=0.05,linkflap=500us,memspike=1ms"
+//	"campaign=0.6,start=4ms,for=3ms"
 //
 // Probabilities are floats in [0,1]; periods/durations use Go duration
-// syntax ("300us", "2ms").
+// syntax ("300us", "2ms"). "campaign=x" overlays the canonical
+// intensity-x plan so later keys can window or tweak it; "start"/"for"
+// bound the activity window ([start, start+for), zero for = forever).
 func Parse(spec string) (Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -167,6 +180,19 @@ func Parse(spec string) (Plan, error) {
 		}
 		var err error
 		switch key {
+		case "campaign":
+			x, perr := strconv.ParseFloat(val, 64)
+			if perr != nil || x < 0 {
+				err = fmt.Errorf("fault spec %s=%q: want intensity >= 0", key, val)
+			} else {
+				start, dur := p.Start, p.For
+				p = Campaign(x)
+				p.Start, p.For = start, dur
+			}
+		case "start":
+			err = dur(&p.Start)
+		case "for":
+			err = dur(&p.For)
 		case "invdrop":
 			err = prob(&p.InvDrop)
 		case "invdelay":

@@ -106,3 +106,52 @@ func TestSafetyReportArithmetic(t *testing.T) {
 		t.Fatalf("Violations = %d / %d, want 2 / 2", a.Violations(), d.Violations())
 	}
 }
+
+// TestParseSpecAllKeys exercises every key the spec grammar accepts in
+// one plan — the adaptive control-plane experiments build windowed
+// campaigns from exactly these fields, so the whole surface stays
+// parseable.
+func TestParseSpecAllKeys(t *testing.T) {
+	p, err := Parse("campaign=1,start=4ms,for=2ms,invdelay=0.2,invdelayby=3us," +
+		"invtimeout=10us,writeback=0.1,writebackby=2us,wilddma=0.03,dupdesc=0.04," +
+		"allocfail=0.01,rcacheflush=700us,linkflapfor=20us,memspikefor=80us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Campaign(1)
+	want.Start, want.For = 4*sim.Millisecond, 2*sim.Millisecond
+	want.InvDelay, want.InvDelayBy = 0.2, 3*sim.Microsecond
+	want.InvTimeout = 10 * sim.Microsecond
+	want.WritebackDelay, want.WritebackDelayBy = 0.1, 2*sim.Microsecond
+	want.WildDMA, want.DupDescRead, want.AllocFail = 0.03, 0.04, 0.01
+	want.RcacheFlushEvery = 700 * sim.Microsecond
+	want.LinkFlapFor, want.MemSpikeFor = 20*sim.Microsecond, 80*sim.Microsecond
+	if p != want {
+		t.Fatalf("Parse = %+v, want %+v", p, want)
+	}
+	// The windowed-campaign ordering contract: start=/for= survive a
+	// later campaign= field resetting the rates.
+	p2, err := Parse("start=1ms,for=2ms,campaign=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Start != sim.Millisecond || p2.For != 2*sim.Millisecond || p2.StrayDMA == 0 {
+		t.Fatalf("campaign= clobbered the fault window: %+v", p2)
+	}
+	if _, err := Parse("campaign=-1"); err == nil {
+		t.Error("Parse(campaign=-1): want error, got nil")
+	}
+	if _, err := Parse("start=bogus"); err == nil {
+		t.Error("Parse(start=bogus): want error, got nil")
+	}
+}
+
+// TestSafetyReportString pins the audit line format the fault figures
+// print alongside the per-phase goodput columns.
+func TestSafetyReportString(t *testing.T) {
+	r := SafetyReport{Checked: 10, Blocked: 2, StaleUnmapped: 1, Retries: 3}
+	want := "checked=10 blocked=2 stale_unmapped=1 stale_remapped=0 stale_ats=0 stale_cap=0 retries=3 violations=1"
+	if got := r.String(); got != want {
+		t.Fatalf("SafetyReport.String() = %q, want %q", got, want)
+	}
+}

@@ -21,6 +21,7 @@ package host
 import (
 	"fmt"
 
+	"fastsafe/internal/control"
 	"fastsafe/internal/core"
 	"fastsafe/internal/device"
 	"fastsafe/internal/fault"
@@ -103,6 +104,15 @@ type Config struct {
 	// read-only over simulation state, so enabling it never changes
 	// simulated behaviour.
 	Telemetry TelemetryConfig
+
+	// Control, when non-nil, installs the adaptive protection control
+	// plane (internal/control): a deterministic rule engine ticking on
+	// the virtual clock that watches the telemetry registry and retunes
+	// each NIC domain's runtime knobs through the SetKnobs transition
+	// protocol. nil — the default — builds no controller, schedules no
+	// events and reads no metrics, so runs are byte-identical to a
+	// build without the package (the property tests lock this down).
+	Control *control.Config
 
 	// Faults is the adversarial fault plan (see internal/fault). The
 	// zero plan is provably inert: no injector is built, no randomness
@@ -245,8 +255,9 @@ type Host struct {
 	walker *pcie.Walker
 	bus    *mem.Bus
 	tele   *Telemetry
-	inj    *fault.Injector // nil unless cfg.Faults is enabled
-	aud    *fault.Auditor  // nil unless auditing
+	ctl    *control.Controller // nil unless cfg.Control is set
+	inj    *fault.Injector     // nil unless cfg.Faults is enabled
+	aud    *fault.Auditor      // nil unless auditing
 
 	storageCount int // storage devices attached so far (cpu/seed slots)
 	started      bool
@@ -341,6 +352,29 @@ func New(cfg Config) (*Host, error) {
 		}
 	}
 	h.tele = newTelemetry(h)
+	// The control plane watches the telemetry spine just built, so it
+	// constructs after it. Controllable targets are the NIC datapath
+	// domains; each target's transition cost is charged to the core
+	// owning that NIC's driver work, so a switch contends with the
+	// traffic it reacts to.
+	if cfg.Control != nil {
+		targets := make([]control.Target, 0, len(h.nets))
+		for _, n := range h.nets {
+			n := n
+			targets = append(targets, control.Target{
+				Name:   n.name,
+				Domain: n.dom,
+				Exec: func(cost sim.Duration) {
+					h.core(n.cpuBase).Do(func() sim.Duration { return cost }, nil)
+				},
+			})
+		}
+		ctl, err := control.New(h.eng, h.tele.reg, h.cfg.Telemetry.Prefix, *cfg.Control, targets)
+		if err != nil {
+			return nil, err
+		}
+		h.ctl = ctl
+	}
 	if cfg.Serve != nil {
 		if _, err := h.InstallServing(*cfg.Serve); err != nil {
 			return nil, err
@@ -465,6 +499,12 @@ func (h *Host) Start() {
 	// Periodic fault disturbances start after the workloads so their
 	// events interleave behind same-timestamp workload events.
 	h.inj.Start()
+	// The controller ticks after the fault layer so its first
+	// evaluation sees whatever the injector's same-timestamp
+	// disturbances already did.
+	if h.ctl != nil {
+		h.ctl.Start()
+	}
 	h.eng.After(200*sim.Microsecond, h.housekeeping)
 	// The sampler starts last: its read-only ticks interleave after the
 	// workload events already scheduled at each timestamp.

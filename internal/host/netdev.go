@@ -348,9 +348,9 @@ func (n *netDev) flowHousekeeping(now sim.Time) {
 
 // deferredFlush is the deferred-mode timer flush of this NIC's domain.
 // Linux lazy mode also flushes on a timer, not just the 256-entry
-// threshold (10ms in the kernel).
+// threshold (10ms in the kernel); the period is a runtime knob.
 func (n *netDev) deferredFlush(now sim.Time) {
-	if now-n.lastDeferredFlush >= 10*sim.Millisecond {
+	if now-n.lastDeferredFlush >= n.dom.Knobs().FlushInterval {
 		n.lastDeferredFlush = now
 		if cost := n.dom.FlushDeferred(); cost > 0 {
 			n.h.core(n.cpuBase).Do(func() sim.Duration { return cost }, nil)

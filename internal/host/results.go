@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fastsafe/internal/ats"
+	"fastsafe/internal/control"
 	"fastsafe/internal/core"
 	"fastsafe/internal/device"
 	"fastsafe/internal/fault"
@@ -92,6 +93,11 @@ type Results struct {
 	// first). Summing each device's share of the shared-IOMMU counters
 	// reproduces the global counters exactly.
 	Devices []DeviceResults
+
+	// Control is the control plane's applied-switch decision log over
+	// the whole run (warmup included — each decision carries its
+	// virtual time); nil unless Config.Control installed a controller.
+	Control []control.Decision
 
 	// Safety is the window's aggregate translation audit; nil unless the
 	// auditor ran (Config.Audit or an enabled fault plan). The paper's
@@ -300,6 +306,9 @@ func (h *Host) Run(warmup, measure sim.Duration) Results {
 func (h *Host) results(before, after snapshot) Results {
 	dt := after.at - before.at
 	r := Results{Mode: h.cfg.Mode, Measure: dt}
+	if h.ctl != nil {
+		r.Control = h.ctl.Decisions()
+	}
 	if dt <= 0 {
 		return r
 	}

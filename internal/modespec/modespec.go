@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fastsafe/internal/control"
 	"fastsafe/internal/core"
 	"fastsafe/internal/transport"
 )
@@ -53,6 +54,20 @@ func Device(s string) (*core.Mode, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// Control parses an adaptive control-plane spec: "" disables the
+// control plane and returns nil, nil (runs stay byte-identical to
+// builds without the controller); otherwise ';'-separated rule
+// segments plus an optional "every=<duration>" (see
+// internal/control.Parse). Both front ends get the same descriptive
+// rejections, which name the valid kinds, keys and modes.
+func Control(s string) (*control.Config, error) {
+	cfg, err := control.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("modespec: %w", err)
+	}
+	return cfg, nil
 }
 
 // ValidOps returns the accepted peer-flow verb names, two-sided first.

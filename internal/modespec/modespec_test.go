@@ -300,3 +300,67 @@ func TestRejectionNamesCapabilityModes(t *testing.T) {
 		}
 	}
 }
+
+func TestControlEmptyDisables(t *testing.T) {
+	cfg, err := Control("")
+	if err != nil || cfg != nil {
+		t.Fatalf("Control(\"\") = %v, %v; want nil, nil", cfg, err)
+	}
+}
+
+func TestControlParsesSpec(t *testing.T) {
+	cfg, err := Control("every=250us;guard,metric=audit.blocked,high=1,low=0,safe=strict,fast=fns,cooldown=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(cfg.Rules))
+	}
+	r := cfg.Rules[0]
+	if r.Metric != "audit.blocked" || r.Safe != core.Strict || r.Fast != core.FNS {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
+func TestControlRejectionMessages(t *testing.T) {
+	cases := []struct {
+		name, spec string
+		want       []string // substrings the error must carry
+	}{
+		{"unknown kind", "governor,metric=mem.util",
+			[]string{`unknown rule kind "governor"`, "guard, pressure"}},
+		{"missing metric", "guard,high=1,low=0,safe=strict,fast=fns",
+			[]string{"metric must not be empty"}},
+		{"unknown key", "guard,metric=x,ceiling=2",
+			[]string{`unknown key "ceiling"`, "metric"}},
+		{"bad threshold", "guard,metric=x,high=lots",
+			[]string{`high="lots"`}},
+		{"bad mode", "guard,metric=x,high=1,low=0,safe=turbo,fast=fns",
+			[]string{`safe="turbo"`, "fns+huge"}},
+		{"bad cooldown", "guard,metric=x,high=1,low=0,safe=strict,fast=fns,cooldown=soon",
+			[]string{`cooldown="soon"`, "duration"}},
+		{"bad every", "every=never",
+			[]string{`every="never"`}},
+		{"inverted thresholds", "guard,metric=x,high=1,low=5,safe=strict,fast=fns",
+			[]string{"high", "low"}},
+		{"unswitchable mode", "guard,metric=x,high=1,low=0,safe=strict,fast=persistent",
+			[]string{"persistent"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Control(c.spec)
+			if err == nil {
+				t.Fatalf("Control(%q) accepted", c.spec)
+			}
+			msg := err.Error()
+			if !strings.HasPrefix(msg, "modespec:") {
+				t.Fatalf("error %q not namespaced", msg)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(msg, want) {
+					t.Fatalf("error %q missing %q", msg, want)
+				}
+			}
+		})
+	}
+}

@@ -119,10 +119,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // GaugeFunc registers a function-backed gauge whose value is computed by fn
 // on every read. Re-registering an existing name replaces its probe, which
-// lets a layer rebind after reconfiguration.
+// lets a layer rebind after reconfiguration. The rebind mutates the
+// existing Gauge in place rather than replacing the object, so holders
+// of the prior *Gauge — an Adopt-merged registry, or a reader that
+// grabbed it via Gauge() before the probe existed — see the new probe
+// instead of a detached zero.
 func (r *Registry) GaugeFunc(name string, fn func() float64) {
-	r.mustBe(name, "gauge")
-	r.gauges[name] = &Gauge{fn: fn}
+	g := r.Gauge(name)
+	g.v = 0
+	g.fn = fn
 }
 
 // Histogram returns the named histogram, creating it on first use.

@@ -60,6 +60,32 @@ func TestRegistryGaugeFunc(t *testing.T) {
 	r.gauges["live"].Set(1)
 }
 
+// A GaugeFunc registered after the gauge object already escaped — via
+// Gauge() or an Adopt merge into another registry — must rebind the
+// existing object, not replace it: every holder of the old pointer
+// would otherwise keep reading a detached zero.
+func TestRegistryGaugeFuncRebindsInPlace(t *testing.T) {
+	r := NewRegistry()
+	held := r.Gauge("live") // escapes before the probe exists
+	merged := NewRegistry()
+	merged.Adopt(r)
+	r.GaugeFunc("live", func() float64 { return 42 })
+	if v := held.Value(); v != 42 {
+		t.Fatalf("held gauge = %v, want 42 (probe rebound in place)", v)
+	}
+	if v, ok := merged.Value("live"); !ok || v != 42 {
+		t.Fatalf("adopted Value(live) = %v,%v, want 42,true", v, ok)
+	}
+	if v := merged.Snapshot()["live"]; v != 42 {
+		t.Fatalf("adopted Snapshot[live] = %v, want 42", v)
+	}
+	// Replacing one probe with another keeps the same object too.
+	r.GaugeFunc("live", func() float64 { return 43 })
+	if v, _ := merged.Value("live"); v != 43 {
+		t.Fatalf("adopted Value(live) after rebind = %v, want 43", v)
+	}
+}
+
 func TestRegistryKindCollisionPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x")
@@ -239,5 +265,49 @@ func TestProbeAdapters(t *testing.T) {
 	}
 	if got := pp(0); got != 0 {
 		t.Fatalf("PerPageProbe with no growth = %v, want 0", got)
+	}
+}
+
+// TestAdoptMergesByReferenceAndPanicsOnCollision covers the sharded
+// cluster's merged read-only view: adopted instruments stay live (the
+// controller's Value reads see source mutations), and a namespace
+// collision — shard wiring double-registering a name — panics.
+func TestAdoptMergesByReferenceAndPanicsOnCollision(t *testing.T) {
+	src := NewRegistry()
+	c := src.Counter("host0.ticks")
+	g := src.Gauge("host0.depth")
+	src.Histogram("host0.lat")
+	merged := NewRegistry()
+	merged.Counter("fabric.drops")
+	merged.Adopt(src)
+	c.Add(3)
+	g.Set(7)
+	if v, ok := merged.Value("host0.ticks"); !ok || v != 3 {
+		t.Fatalf("adopted counter = %v, %v; want live value 3", v, ok)
+	}
+	if v, ok := merged.Value("host0.depth"); !ok || v != 7 {
+		t.Fatalf("adopted gauge = %v, %v; want live value 7", v, ok)
+	}
+	if merged.LookupHistogram("host0.lat") == nil {
+		t.Fatal("adopted histogram absent from merged view")
+	}
+	for _, dup := range []string{"counter", "gauge", "hist"} {
+		other := NewRegistry()
+		switch dup {
+		case "counter":
+			other.Counter("host0.ticks")
+		case "gauge":
+			other.Gauge("host0.depth")
+		case "hist":
+			other.Histogram("host0.lat")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Adopt with duplicate %s did not panic", dup)
+				}
+			}()
+			merged.Adopt(other)
+		}()
 	}
 }
